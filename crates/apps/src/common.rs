@@ -1,0 +1,281 @@
+//! Shared application plumbing: results, QoI comparison, launch parameters,
+//! and the [`Benchmark`] trait the harness drives.
+
+use gpu_sim::transfer::{self, Direction};
+use gpu_sim::{CostProfile, DeviceSpec, KernelExec, KernelRecord, KernelStats, LaunchConfig};
+use hpac_core::metrics;
+use hpac_core::region::{ApproxRegion, RegionError};
+
+/// Launch-shape parameters swept by the paper's design-space exploration
+/// (the `num_teams`-derived "Items per Thread" and the block size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchParams {
+    /// Approximate loop items per thread (1 = maximum parallelism).
+    pub items_per_thread: usize,
+    /// Threads per block.
+    pub block_size: u32,
+}
+
+impl Default for LaunchParams {
+    fn default() -> Self {
+        LaunchParams {
+            items_per_thread: 32,
+            block_size: 256,
+        }
+    }
+}
+
+impl LaunchParams {
+    pub fn new(items_per_thread: usize, block_size: u32) -> Self {
+        LaunchParams {
+            items_per_thread,
+            block_size,
+        }
+    }
+}
+
+/// A benchmark's quantity of interest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QoI {
+    /// Continuous outputs, compared with MAPE (paper eq. 1).
+    Values(Vec<f64>),
+    /// Discrete labels, compared with the misclassification rate (eq. 2).
+    Labels(Vec<u32>),
+}
+
+impl QoI {
+    /// Error of `self` (the approximate run) against `accurate`, as a
+    /// fraction (MAPE or MCR depending on the QoI kind). Non-finite values
+    /// anywhere yield `f64::INFINITY` (a destroyed QoI is infinitely wrong).
+    pub fn error_vs(&self, accurate: &QoI) -> f64 {
+        match (accurate, self) {
+            (QoI::Values(a), QoI::Values(p)) => {
+                if p.iter().chain(a.iter()).any(|v| !v.is_finite()) {
+                    return f64::INFINITY;
+                }
+                metrics::mape(a, p)
+            }
+            (QoI::Labels(a), QoI::Labels(p)) => metrics::mcr(a, p),
+            _ => panic!("comparing mismatched QoI kinds"),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            QoI::Values(v) => v.len(),
+            QoI::Labels(l) => l.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Result of one application run (accurate or approximated).
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    pub qoi: QoI,
+    /// Modeled GPU kernel time, all launches summed.
+    pub kernel_seconds: f64,
+    /// Modeled host<->device transfer time.
+    pub transfer_seconds: f64,
+    /// Modeled host-side time (allocation, setup, reductions).
+    pub host_seconds: f64,
+    /// Execution statistics merged over all launches.
+    pub stats: KernelStats,
+    /// Solver iterations executed, for convergence-driven apps (K-Means).
+    pub iterations: Option<usize>,
+}
+
+impl AppResult {
+    /// End-to-end modeled runtime (the paper's default speedup basis).
+    pub fn end_to_end_seconds(&self) -> f64 {
+        self.kernel_seconds + self.transfer_seconds + self.host_seconds
+    }
+
+    /// The timing basis used for speedups: kernel-only when the benchmark
+    /// requests it (Blackscholes), end-to-end otherwise.
+    pub fn timing_basis_seconds(&self, kernel_only: bool) -> f64 {
+        if kernel_only {
+            self.kernel_seconds
+        } else {
+            self.end_to_end_seconds()
+        }
+    }
+}
+
+/// Accumulates kernel records and transfer/host time across an
+/// application's launches.
+#[derive(Debug, Clone, Default)]
+pub struct RunAccumulator {
+    pub kernel_seconds: f64,
+    pub transfer_seconds: f64,
+    pub host_seconds: f64,
+    pub stats: KernelStats,
+}
+
+impl RunAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn kernel(&mut self, rec: &KernelRecord) {
+        self.kernel_seconds += rec.timing.seconds;
+        self.stats.merge(&rec.stats);
+    }
+
+    pub fn transfer(&mut self, spec: &DeviceSpec, bytes: u64, _dir: Direction) {
+        self.transfer_seconds += transfer::transfer_seconds(spec, bytes);
+    }
+
+    pub fn host(&mut self, seconds: f64) {
+        self.host_seconds += seconds;
+    }
+
+    pub fn finish(self, qoi: QoI, iterations: Option<usize>) -> AppResult {
+        AppResult {
+            qoi,
+            kernel_seconds: self.kernel_seconds,
+            transfer_seconds: self.transfer_seconds,
+            host_seconds: self.host_seconds,
+            stats: self.stats,
+            iterations,
+        }
+    }
+}
+
+/// Charge a uniform, non-approximated kernel (per-item cost `cost`) without
+/// functionally iterating items — used for accurate helper kernels whose
+/// outputs the app computes host-side (reductions, centroid updates).
+pub fn charge_uniform_kernel(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    cost_per_warp_step: &CostProfile,
+) -> Result<KernelRecord, RegionError> {
+    let mut exec = KernelExec::new(spec, launch, 0)?;
+    let wpb = launch.warps_per_block(spec);
+    let steps = launch.steps();
+    let mut remaining = launch.n_items as i64;
+    let full_warp = spec.warp_size as i64;
+    'outer: for _s in 0..steps {
+        for b in 0..launch.n_blocks {
+            for w in 0..wpb {
+                if remaining <= 0 {
+                    break 'outer;
+                }
+                let lanes = remaining.min(full_warp) as u32;
+                exec.charge(b, w, cost_per_warp_step);
+                exec.note_step(lanes, 0, 0, false);
+                remaining -= full_warp;
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+/// The interface the design-space-exploration harness drives.
+///
+/// Implementations are plain-data configuration structs; `run` is pure
+/// (deterministic given the config and arguments) and internally owns all
+/// mutable state, so benchmarks can be swept from parallel threads.
+pub trait Benchmark: Send + Sync {
+    /// Table 1 benchmark name.
+    fn name(&self) -> &'static str;
+
+    /// "MAPE" or "MCR" (Table 1's QoI metric).
+    fn error_metric(&self) -> &'static str {
+        "MAPE"
+    }
+
+    /// Whether speedups use kernel-only timing (true only for Blackscholes,
+    /// where 99% of end-to-end time is allocation and transfer — §4.1).
+    fn kernel_only_timing(&self) -> bool {
+        false
+    }
+
+    /// Regions in this benchmark that support block-level decisions only
+    /// (Binomial Options' cooperative blocks).
+    fn block_level_only(&self) -> bool {
+        false
+    }
+
+    /// Execute the benchmark, approximating its designated kernel(s) with
+    /// `region` (or accurately when `None`).
+    fn run(
+        &self,
+        spec: &DeviceSpec,
+        region: Option<&ApproxRegion>,
+        lp: &LaunchParams,
+    ) -> Result<AppResult, RegionError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qoi_mape_roundtrip() {
+        let a = QoI::Values(vec![1.0, 2.0]);
+        let p = QoI::Values(vec![1.1, 1.8]);
+        assert!((p.error_vs(&a) - 0.1).abs() < 1e-12);
+        assert_eq!(a.error_vs(&a), 0.0);
+    }
+
+    #[test]
+    fn qoi_mcr_roundtrip() {
+        let a = QoI::Labels(vec![0, 1, 2, 3]);
+        let p = QoI::Labels(vec![0, 1, 0, 0]);
+        assert!((p.error_vs(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qoi_nan_is_infinite_error() {
+        let a = QoI::Values(vec![1.0]);
+        let p = QoI::Values(vec![f64::NAN]);
+        assert!(p.error_vs(&a).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched QoI")]
+    fn qoi_kind_mismatch_panics() {
+        let a = QoI::Values(vec![1.0]);
+        let p = QoI::Labels(vec![1]);
+        let _ = p.error_vs(&a);
+    }
+
+    #[test]
+    fn accumulator_sums() {
+        let spec = DeviceSpec::v100();
+        let mut acc = RunAccumulator::new();
+        acc.host(0.5);
+        acc.transfer(&spec, 1 << 30, Direction::HostToDevice);
+        let r = acc.finish(QoI::Values(vec![]), None);
+        assert!(r.end_to_end_seconds() > 0.5);
+        assert_eq!(r.iterations, None);
+    }
+
+    #[test]
+    fn timing_basis_selects_kernel_only() {
+        let r = AppResult {
+            qoi: QoI::Values(vec![]),
+            kernel_seconds: 1.0,
+            transfer_seconds: 2.0,
+            host_seconds: 3.0,
+            stats: KernelStats::default(),
+            iterations: None,
+        };
+        assert_eq!(r.timing_basis_seconds(true), 1.0);
+        assert_eq!(r.timing_basis_seconds(false), 6.0);
+    }
+
+    #[test]
+    fn uniform_kernel_charges_all_items() {
+        let spec = DeviceSpec::v100();
+        let lc = LaunchConfig::one_item_per_thread(1000, 128);
+        let cost = CostProfile::new().flops(10.0);
+        let rec = charge_uniform_kernel(&spec, &lc, &cost).unwrap();
+        assert_eq!(rec.stats.accurate_lanes, 1000);
+        assert!(rec.timing.cycles > 0.0);
+    }
+}

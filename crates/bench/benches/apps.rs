@@ -1,0 +1,159 @@
+//! Criterion wall-clock benches: the functional simulator genuinely skips
+//! work on the approximate path, so host-side wall time also improves.
+//! One group per benchmark application (accurate vs TAF vs iACT vs perfo),
+//! plus microbenches of the runtime primitives. These guard the framework's
+//! own performance; modeled-GPU numbers come from the fig* binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::{Benchmark, LaunchParams};
+use hpac_apps::{
+    binomial::BinomialOptions, blackscholes::Blackscholes, kmeans::KMeans, lavamd::LavaMd,
+    leukocyte::Leukocyte, lulesh::Lulesh, minife::MiniFe,
+};
+use hpac_core::params::PerfoKind;
+use hpac_core::region::ApproxRegion;
+use hpac_core::HierarchyLevel;
+use std::hint::black_box;
+
+fn bench_app(c: &mut Criterion, name: &str, bench: &dyn Benchmark, block_level: bool) {
+    let spec = DeviceSpec::v100();
+    let lp = LaunchParams::new(16, if block_level { 128 } else { 256 });
+    let level = if block_level {
+        HierarchyLevel::Block
+    } else {
+        HierarchyLevel::Thread
+    };
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function("accurate", |b| {
+        b.iter(|| black_box(bench.run(&spec, None, &lp).unwrap()))
+    });
+    let taf = ApproxRegion::memo_out(2, 64, 5.0).level(level);
+    group.bench_function("taf", |b| {
+        b.iter(|| black_box(bench.run(&spec, Some(&taf), &lp).unwrap()))
+    });
+    let iact = ApproxRegion::memo_in(4, 0.5).tables_per_warp(16).level(level);
+    if bench.name() != "MiniFE" {
+        group.bench_function("iact", |b| {
+            b.iter(|| black_box(bench.run(&spec, Some(&iact), &lp).unwrap()))
+        });
+    }
+    if !block_level {
+        let perfo = ApproxRegion::perfo(PerfoKind::Large { m: 8 });
+        group.bench_function("perfo_large8", |b| {
+            b.iter(|| black_box(bench.run(&spec, Some(&perfo), &lp).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn apps(c: &mut Criterion) {
+    bench_app(
+        c,
+        "lulesh",
+        &Lulesh {
+            edge: 12,
+            steps: 8,
+            dt: 1e-4,
+            ..Lulesh::default()
+        },
+        false,
+    );
+    bench_app(
+        c,
+        "leukocyte",
+        &Leukocyte {
+            n_cells: 8,
+            grid: 16,
+            iterations: 24,
+            ..Leukocyte::default()
+        },
+        false,
+    );
+    bench_app(
+        c,
+        "binomial_options",
+        &BinomialOptions {
+            n_options: 1024,
+            tree_steps: 96,
+            ..BinomialOptions::default()
+        },
+        true,
+    );
+    bench_app(
+        c,
+        "minife",
+        &MiniFe {
+            nx: 10,
+            max_iters: 25,
+            ..MiniFe::default()
+        },
+        false,
+    );
+    bench_app(
+        c,
+        "blackscholes",
+        &Blackscholes {
+            n_options: 8192,
+            ..Blackscholes::default()
+        },
+        false,
+    );
+    bench_app(
+        c,
+        "lavamd",
+        &LavaMd {
+            boxes_per_dim: 4,
+            par_per_box: 16,
+            ..LavaMd::default()
+        },
+        false,
+    );
+    bench_app(
+        c,
+        "kmeans",
+        &KMeans {
+            n_points: 2048,
+            max_iters: 40,
+            ..KMeans::default()
+        },
+        false,
+    );
+}
+
+fn primitives(c: &mut Criterion) {
+    use hpac_core::iact::IactPool;
+    use hpac_core::metrics::RsdWindow;
+    use hpac_core::params::{IactParams, TafParams};
+    use hpac_core::taf::TafPool;
+
+    c.bench_function("taf_observe", |b| {
+        let mut pool = TafPool::new(1024, 4, TafParams::new(5, 32, 0.5));
+        let out = [1.0, 2.0, 3.0, 4.0];
+        let mut i = 0usize;
+        b.iter(|| {
+            pool.observe(i % 1024, black_box(&out));
+            i += 1;
+        })
+    });
+    c.bench_function("iact_probe_t8_d5", |b| {
+        let mut pool = IactPool::new(1, 5, 1, IactParams::new(8, 0.5));
+        for k in 0..8 {
+            pool.insert(0, &[k as f64; 5], &[k as f64]);
+        }
+        b.iter(|| black_box(pool.probe(0, black_box(&[3.3; 5]))))
+    });
+    c.bench_function("rsd_window_push", |b| {
+        let mut w = RsdWindow::new(5);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            w.push(black_box(x));
+            x += 1.0;
+            black_box(w.rsd())
+        })
+    });
+}
+
+criterion_group!(benches, apps, primitives);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerate Figure 3: per-thread memoization tables vs global memory.
+fn main() {
+    hpac_bench::emit(&[hpac_harness::figures::fig03()]);
+}

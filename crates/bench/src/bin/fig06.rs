@@ -1,0 +1,23 @@
+//! Regenerate Figure 6: highest speedup with error < 10% per benchmark,
+//! technique, and platform, plus the paper's headline aggregates. Runs the
+//! Table 2 sweep over all seven benchmarks on both device models — the
+//! heaviest binary here (use the default quick grids unless you have time
+//! for `--full`).
+use hpac_harness::figures;
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let benches = hpac_apps::all_benchmarks();
+    let refs: Vec<&dyn hpac_apps::Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    let (db, rejected) = figures::full_sweep(&refs, scale);
+    eprintln!(
+        "swept {} configurations ({} rejected at launch)",
+        db.len() + rejected.len(),
+        rejected.len()
+    );
+    let dir = hpac_bench::figures_dir();
+    if let Err(e) = db.save(&dir.join("fig06_sweep.csv")) {
+        eprintln!("warning: could not save sweep database: {e}");
+    }
+    hpac_bench::emit(&figures::fig06(&db));
+}

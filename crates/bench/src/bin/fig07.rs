@@ -1,0 +1,22 @@
+//! Regenerate Figure 7: LULESH speedup-vs-MAPE clouds for perforation,
+//! TAF, and iACT on both platforms.
+use gpu_sim::DeviceSpec;
+use hpac_apps::lulesh::Lulesh;
+use hpac_harness::{figures, runner, ResultsDb};
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let bench = Lulesh::default();
+    let mut db = ResultsDb::new();
+    for spec in DeviceSpec::evaluation_platforms() {
+        let outcome = runner::run_sweep(&bench, &spec, scale);
+        eprintln!(
+            "{}: {} rows, {} rejected",
+            spec.name,
+            outcome.rows.len(),
+            outcome.rejected.len()
+        );
+        db.extend(outcome.rows);
+    }
+    hpac_bench::emit(&figures::fig07(&db));
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 8: Binomial Options TAF/iACT clouds (NVIDIA) and the
+//! parallelism-vs-approximation tradeoff (items per thread, both devices).
+use gpu_sim::DeviceSpec;
+use hpac_apps::binomial::BinomialOptions;
+use hpac_harness::{figures, runner, ResultsDb};
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let bench = BinomialOptions::default();
+    let mut db = ResultsDb::new();
+    let outcome = runner::run_sweep(&bench, &DeviceSpec::v100(), scale);
+    db.extend(outcome.rows);
+    hpac_bench::emit(&figures::fig08ab(&db));
+    hpac_bench::emit(&[figures::fig08c(&bench, scale)]);
+}

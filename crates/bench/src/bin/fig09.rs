@@ -1,0 +1,29 @@
+//! Regenerate Figure 9: Leukocyte TAF/iACT (NVIDIA), MiniFE TAF, and the
+//! MiniFE iACT-inapplicability result.
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::{Benchmark, LaunchParams};
+use hpac_apps::leukocyte::Leukocyte;
+use hpac_apps::minife::MiniFe;
+use hpac_core::region::ApproxRegion;
+use hpac_harness::{figures, runner, ResultsDb};
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let spec = DeviceSpec::v100();
+    let mut db = ResultsDb::new();
+    let leuk = Leukocyte::default();
+    db.extend(runner::run_sweep(&leuk, &spec, scale).rows);
+    let fe = MiniFe::default();
+    db.extend(runner::run_sweep(&fe, &spec, scale).rows);
+
+    // Demonstrate the paper's iACT inapplicability for MiniFE.
+    let rejection = match fe.run(
+        &spec,
+        Some(&ApproxRegion::memo_in(4, 0.5)),
+        &LaunchParams::new(8, 256),
+    ) {
+        Err(e) => format!("rejected as in the paper: {e}"),
+        Ok(_) => "UNEXPECTED: iACT ran on MiniFE".to_string(),
+    };
+    hpac_bench::emit(&figures::fig09(&db, &rejection));
+}

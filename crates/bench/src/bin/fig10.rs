@@ -1,0 +1,14 @@
+//! Regenerate Figure 10: Blackscholes TAF/iACT clouds (AMD) and the output
+//! price distribution vs RSD threshold (the unintuitive-threshold result).
+use gpu_sim::DeviceSpec;
+use hpac_apps::blackscholes::Blackscholes;
+use hpac_harness::{figures, runner, ResultsDb};
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let bench = Blackscholes::default();
+    let mut db = ResultsDb::new();
+    db.extend(runner::run_sweep(&bench, &DeviceSpec::mi250x(), scale).rows);
+    hpac_bench::emit(&figures::fig10ab(&db));
+    hpac_bench::emit(&[figures::fig10c(&bench, scale)]);
+}

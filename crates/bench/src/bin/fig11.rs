@@ -1,0 +1,14 @@
+//! Regenerate Figure 11: LavaMD TAF/iACT clouds (AMD) and the paired
+//! thread-vs-warp hierarchy comparison.
+use gpu_sim::DeviceSpec;
+use hpac_apps::lavamd::LavaMd;
+use hpac_harness::{figures, runner, ResultsDb};
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let bench = LavaMd::default();
+    let mut db = ResultsDb::new();
+    db.extend(runner::run_sweep(&bench, &DeviceSpec::mi250x(), scale).rows);
+    hpac_bench::emit(&figures::fig11ab(&db));
+    hpac_bench::emit(&[figures::fig11c(&bench, scale)]);
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 12: K-Means TAF/iACT clouds (AMD, MCR metric) and the
+//! convergence-speedup vs time-speedup correlation.
+use gpu_sim::DeviceSpec;
+use hpac_apps::kmeans::KMeans;
+use hpac_harness::{figures, runner, ResultsDb};
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let bench = KMeans::default();
+    let spec = DeviceSpec::mi250x();
+    let outcome = runner::run_sweep(&bench, &spec, scale);
+    let mut db = ResultsDb::new();
+    db.extend(outcome.rows.clone());
+    hpac_bench::emit(&figures::fig12ab(&db));
+    let (fig, r2) = figures::fig12c(&bench, &outcome);
+    hpac_bench::emit(&[fig]);
+    eprintln!("convergence/time speedup R2 = {r2:.3} (paper: 0.95)");
+}

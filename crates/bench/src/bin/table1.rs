@@ -1,0 +1,6 @@
+//! Regenerate Table 1: the benchmark suite.
+fn main() {
+    let benches = hpac_apps::all_benchmarks();
+    let refs: Vec<&dyn hpac_apps::Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    hpac_bench::emit(&[hpac_harness::figures::table1(&refs)]);
+}

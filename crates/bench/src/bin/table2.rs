@@ -1,0 +1,5 @@
+//! Regenerate Table 2: the design-space parameter grids.
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    hpac_bench::emit(&[hpac_harness::figures::table2(scale)]);
+}

@@ -1,0 +1,149 @@
+//! Hierarchical decision-making: thread, warp, and block approximation
+//! scopes (§3.1.2, §3.3).
+//!
+//! At `thread` level every lane follows its own activation criterion — the
+//! CPU-HPAC behaviour, which on a GPU introduces divergence whenever lanes of
+//! one warp disagree. At `warp` level, lanes vote via ballot + popcount and
+//! majority rules: the whole warp takes one path. At `block` level, per-warp
+//! counts are combined through a shared-memory atomic and a barrier before
+//! the whole block commits to one path.
+
+use gpu_sim::{CostProfile, WarpVote};
+
+/// The `level(...)` clause values. `Block` corresponds to the pragma value
+/// `team` (an OpenMP team maps to a thread block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HierarchyLevel {
+    Thread,
+    Warp,
+    Block,
+}
+
+impl std::fmt::Display for HierarchyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyLevel::Thread => write!(f, "thread"),
+            HierarchyLevel::Warp => write!(f, "warp"),
+            HierarchyLevel::Block => write!(f, "block"),
+        }
+    }
+}
+
+/// Outcome of a warp's decision stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpDecision {
+    /// Each lane follows its own vote (thread level).
+    PerLane,
+    /// The whole group approximates (majority voted yes).
+    GroupApprox,
+    /// The whole group takes the accurate path.
+    GroupAccurate,
+}
+
+/// Resolve a warp's votes at the given level. For `Block` level the caller
+/// must aggregate votes across warps first and pass the block-wide majority
+/// through [`group_decision`] instead.
+pub fn warp_decide(level: HierarchyLevel, votes: &[bool]) -> WarpDecision {
+    match level {
+        HierarchyLevel::Thread => WarpDecision::PerLane,
+        HierarchyLevel::Warp | HierarchyLevel::Block => {
+            let v = WarpVote::collect(votes);
+            if v.majority() {
+                WarpDecision::GroupApprox
+            } else {
+                WarpDecision::GroupAccurate
+            }
+        }
+    }
+}
+
+/// Block-level majority over aggregated per-warp tallies.
+pub fn group_decision(yes: u32, active: u32) -> WarpDecision {
+    if 2 * yes > active {
+        WarpDecision::GroupApprox
+    } else {
+        WarpDecision::GroupAccurate
+    }
+}
+
+/// Cycle cost of the decision stage itself, charged per warp step.
+///
+/// * thread: reading the per-lane criterion only (folded into activation);
+/// * warp: ballot + popcount (§3.3);
+/// * block: per-warp ballot/popcount, one shared-memory atomic add by the
+///   warp's first lane, and a barrier before reading the block total.
+pub fn decision_cost(level: HierarchyLevel) -> CostProfile {
+    match level {
+        HierarchyLevel::Thread => CostProfile::new(),
+        HierarchyLevel::Warp => CostProfile::new().flops(2.0),
+        HierarchyLevel::Block => CostProfile::new()
+            .flops(2.0)
+            .atomics(1.0)
+            .barriers(1.0)
+            .shared_ops(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_level_is_per_lane() {
+        assert_eq!(
+            warp_decide(HierarchyLevel::Thread, &[true, false]),
+            WarpDecision::PerLane
+        );
+    }
+
+    #[test]
+    fn warp_majority_approximates() {
+        let votes = [true, true, true, false, false];
+        assert_eq!(
+            warp_decide(HierarchyLevel::Warp, &votes),
+            WarpDecision::GroupApprox
+        );
+    }
+
+    #[test]
+    fn warp_minority_stays_accurate() {
+        let votes = [true, false, false];
+        assert_eq!(
+            warp_decide(HierarchyLevel::Warp, &votes),
+            WarpDecision::GroupAccurate
+        );
+    }
+
+    #[test]
+    fn warp_tie_stays_accurate() {
+        // Strict majority: a 2-2 tie does not approximate.
+        let votes = [true, true, false, false];
+        assert_eq!(
+            warp_decide(HierarchyLevel::Warp, &votes),
+            WarpDecision::GroupAccurate
+        );
+    }
+
+    #[test]
+    fn block_tally_majority() {
+        assert_eq!(group_decision(65, 128), WarpDecision::GroupApprox);
+        assert_eq!(group_decision(64, 128), WarpDecision::GroupAccurate);
+        assert_eq!(group_decision(0, 0), WarpDecision::GroupAccurate);
+    }
+
+    #[test]
+    fn decision_costs_ordered() {
+        let spec = gpu_sim::DeviceSpec::v100();
+        let t = decision_cost(HierarchyLevel::Thread).issue_cycles(&spec.costs);
+        let w = decision_cost(HierarchyLevel::Warp).issue_cycles(&spec.costs);
+        let b = decision_cost(HierarchyLevel::Block).issue_cycles(&spec.costs);
+        assert!(t <= w && w < b);
+    }
+
+    #[test]
+    fn display_names_match_pragma_values() {
+        assert_eq!(HierarchyLevel::Thread.to_string(), "thread");
+        assert_eq!(HierarchyLevel::Warp.to_string(), "warp");
+        assert_eq!(HierarchyLevel::Block.to_string(), "block");
+    }
+}

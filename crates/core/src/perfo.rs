@@ -1,0 +1,144 @@
+//! Loop perforation patterns, including the paper's GPU-aware *herded*
+//! variant.
+//!
+//! Non-herded `small`/`large` perforation decides per *loop item*: adjacent
+//! items live on adjacent lanes of a warp, so some lanes skip while their
+//! neighbours execute — the warp still pays the full SIMD execution and its
+//! memory span stays fragmented (no fewer transactions). Herded perforation
+//! drops the same *warp-aligned blocks of iterations* across the whole grid
+//! ("the same iterations are dropped by every thread in the grid", §3.1.5):
+//! control flow stays uniform within every warp, skipped groups cost
+//! nothing, and the surviving accesses stay aligned and unfragmented.
+//!
+//! `ini`/`fini` are loop-bound changes performed "by the compiler" (§3.3):
+//! [`bounds`] shrinks the iteration space before launch and no runtime
+//! decision is made at all.
+
+use crate::params::{PerfoKind, PerfoParams};
+
+/// Decide whether the given loop item is dropped.
+///
+/// * `item` — the logical loop index;
+/// * `group` — the warp-aligned group index `item / warp_size` (herded
+///   small/large key on this so whole warps skip together).
+///
+/// `ini`/`fini` always return `false` here because they are applied as
+/// bounds changes via [`bounds`].
+pub fn should_skip(params: &PerfoParams, item: usize, group: usize) -> bool {
+    let idx = if params.herded { group } else { item };
+    match params.kind {
+        PerfoKind::Small { m } => idx % m as usize == m as usize - 1,
+        PerfoKind::Large { m } => idx % m as usize != 0,
+        PerfoKind::Ini { .. } | PerfoKind::Fini { .. } => false,
+    }
+}
+
+/// Iteration-space bounds `[lo, hi)` after applying ini/fini perforation to
+/// a loop of `n_items` iterations. Small/large leave the bounds unchanged.
+pub fn bounds(params: &PerfoParams, n_items: usize) -> (usize, usize) {
+    match params.kind {
+        PerfoKind::Ini { fraction } => {
+            let lo = (n_items as f64 * fraction).round() as usize;
+            (lo.min(n_items), n_items)
+        }
+        PerfoKind::Fini { fraction } => {
+            let hi = (n_items as f64 * (1.0 - fraction)).round() as usize;
+            (0, hi.min(n_items))
+        }
+        _ => (0, n_items),
+    }
+}
+
+/// Exact number of items a loop of `n_items` drops under this pattern when
+/// decisions are per-item (non-herded); used by tests and the harness to
+/// validate skip rates.
+pub fn dropped_items(params: &PerfoParams, n_items: usize) -> usize {
+    match params.kind {
+        PerfoKind::Small { m } => n_items / m as usize,
+        PerfoKind::Large { m } => n_items - n_items.div_ceil(m as usize),
+        PerfoKind::Ini { .. } | PerfoKind::Fini { .. } => {
+            let (lo, hi) = bounds(params, n_items);
+            n_items - (hi - lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(kind: PerfoKind, herded: bool) -> PerfoParams {
+        PerfoParams { kind, herded }
+    }
+
+    #[test]
+    fn small_skips_one_in_m_items() {
+        let params = p(PerfoKind::Small { m: 4 }, false);
+        let skipped: Vec<usize> = (0..16)
+            .filter(|&i| should_skip(&params, i, 0))
+            .collect();
+        assert_eq!(skipped, vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn large_executes_one_in_m_items() {
+        let params = p(PerfoKind::Large { m: 4 }, false);
+        let executed: Vec<usize> = (0..16)
+            .filter(|&i| !should_skip(&params, i, 0))
+            .collect();
+        assert_eq!(executed, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn herded_small_keys_on_group() {
+        let params = p(PerfoKind::Small { m: 2 }, true);
+        // item index irrelevant; odd groups skipped, even not
+        assert!(!should_skip(&params, 999, 0));
+        assert!(should_skip(&params, 0, 1));
+        assert!(should_skip(&params, 12345, 3));
+    }
+
+    #[test]
+    fn herded_group_zero_never_skips_small() {
+        let params = p(PerfoKind::Small { m: 8 }, true);
+        assert!(!should_skip(&params, 0, 0));
+    }
+
+    #[test]
+    fn ini_moves_lower_bound() {
+        let params = p(PerfoKind::Ini { fraction: 0.25 }, true);
+        assert_eq!(bounds(&params, 100), (25, 100));
+        assert_eq!(dropped_items(&params, 100), 25);
+    }
+
+    #[test]
+    fn fini_moves_upper_bound() {
+        let params = p(PerfoKind::Fini { fraction: 0.3 }, true);
+        assert_eq!(bounds(&params, 100), (0, 70));
+        assert_eq!(dropped_items(&params, 100), 30);
+    }
+
+    #[test]
+    fn ini_fini_never_skip_at_runtime() {
+        for kind in [
+            PerfoKind::Ini { fraction: 0.9 },
+            PerfoKind::Fini { fraction: 0.9 },
+        ] {
+            let params = p(kind, false);
+            assert!((0..100).all(|i| !should_skip(&params, i, i)));
+        }
+    }
+
+    #[test]
+    fn small_large_keep_bounds() {
+        let params = p(PerfoKind::Small { m: 2 }, false);
+        assert_eq!(bounds(&params, 50), (0, 50));
+    }
+
+    #[test]
+    fn dropped_counts_exact() {
+        assert_eq!(dropped_items(&p(PerfoKind::Small { m: 4 }, false), 17), 4);
+        // Large m=4 over 17 items: executes ceil(17/4)=5, drops 12.
+        assert_eq!(dropped_items(&p(PerfoKind::Large { m: 4 }, false), 17), 12);
+    }
+}

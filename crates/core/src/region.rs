@@ -1,0 +1,237 @@
+//! The `#pragma approx` surface: a builder describing one approximated code
+//! region.
+//!
+//! An [`ApproxRegion`] carries exactly the information HPAC-Offload's Clang
+//! extension lowers from the pragma clauses: which technique, its parameters,
+//! and the `level(hierarchy)` decision scope (§3.2).
+
+use crate::hierarchy::HierarchyLevel;
+use crate::params::{IactParams, PerfoKind, PerfoParams, Replacement, TafParams};
+use gpu_sim::LaunchError;
+
+/// The approximation technique selected for a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Technique {
+    /// `memo(out:hsize:psize:threshold)` — TAF output memoization.
+    Taf(TafParams),
+    /// `memo(in:tsize:threshold:tperwarp)` — iACT input memoization.
+    Iact(IactParams),
+    /// `perfo(kind:rate)` — loop perforation.
+    Perfo(PerfoParams),
+}
+
+impl Technique {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Taf(_) => "TAF",
+            Technique::Iact(_) => "iACT",
+            Technique::Perfo(_) => "Perfo",
+        }
+    }
+}
+
+/// Errors raised when building or launching an approximated region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionError {
+    /// The region parameters are invalid or incompatible with the body
+    /// (e.g. iACT on a region with non-uniform input sizes — the paper's
+    /// MiniFE case).
+    Invalid(String),
+    /// The underlying kernel launch was rejected (geometry or shared
+    /// memory, including AC state that does not fit).
+    Launch(LaunchError),
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::Invalid(msg) => write!(f, "invalid approx region: {msg}"),
+            RegionError::Launch(e) => write!(f, "launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl From<LaunchError> for RegionError {
+    fn from(e: LaunchError) -> Self {
+        RegionError::Launch(e)
+    }
+}
+
+/// A fully specified approximated region — the analogue of one
+/// `#pragma approx ...` annotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxRegion {
+    pub technique: Technique,
+    pub level: HierarchyLevel,
+}
+
+impl ApproxRegion {
+    /// `#pragma approx memo(out : hsize : psize : threshold)` — TAF.
+    pub fn memo_out(hsize: usize, psize: usize, threshold: f64) -> Self {
+        ApproxRegion {
+            technique: Technique::Taf(TafParams::new(hsize, psize, threshold)),
+            level: HierarchyLevel::Thread,
+        }
+    }
+
+    /// `#pragma approx memo(in : tsize : threshold)` — iACT with the default
+    /// one-table-per-thread sharing.
+    pub fn memo_in(tsize: usize, threshold: f64) -> Self {
+        ApproxRegion {
+            technique: Technique::Iact(IactParams::new(tsize, threshold)),
+            level: HierarchyLevel::Thread,
+        }
+    }
+
+    /// `#pragma approx perfo(kind : rate)` — loop perforation (herded, the
+    /// GPU-aware default; use [`ApproxRegion::herded`] to toggle).
+    pub fn perfo(kind: PerfoKind) -> Self {
+        ApproxRegion {
+            technique: Technique::Perfo(PerfoParams::new(kind)),
+            level: HierarchyLevel::Thread,
+        }
+    }
+
+    /// The `level(hierarchy)` clause.
+    pub fn level(mut self, level: HierarchyLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// The `tperwarp` clause argument (iACT only; validated in
+    /// [`ApproxRegion::validate`]).
+    pub fn tables_per_warp(mut self, t: u32) -> Self {
+        if let Technique::Iact(ref mut p) = self.technique {
+            p.tables_per_warp = t;
+        }
+        self
+    }
+
+    /// Replacement policy for iACT tables.
+    pub fn replacement(mut self, r: Replacement) -> Self {
+        if let Technique::Iact(ref mut p) = self.technique {
+            p.replacement = r;
+        }
+        self
+    }
+
+    /// Toggle herded perforation (perfo only). Herded is the default.
+    pub fn herded(mut self, herded: bool) -> Self {
+        if let Technique::Perfo(ref mut p) = self.technique {
+            p.herded = herded;
+        }
+        self
+    }
+
+    /// Validate parameter combinations (clause-level checks; body- and
+    /// device-dependent checks happen at launch).
+    pub fn validate(&self) -> Result<(), RegionError> {
+        match &self.technique {
+            Technique::Taf(p) => p.validate().map_err(RegionError::Invalid),
+            Technique::Iact(p) => p.validate().map_err(RegionError::Invalid),
+            Technique::Perfo(p) => {
+                p.validate().map_err(RegionError::Invalid)?;
+                if self.level != HierarchyLevel::Thread {
+                    return Err(RegionError::Invalid(
+                        "perforation patterns are data-independent; level(warp|block) \
+                         does not apply to perfo regions"
+                            .into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    pub fn technique_name(&self) -> &'static str {
+        self.technique.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let r = ApproxRegion::memo_in(2, 0.5)
+            .tables_per_warp(4)
+            .level(HierarchyLevel::Warp);
+        match r.technique {
+            Technique::Iact(p) => {
+                assert_eq!(p.tsize, 2);
+                assert_eq!(p.tables_per_warp, 4);
+            }
+            _ => panic!("expected iACT"),
+        }
+        assert_eq!(r.level, HierarchyLevel::Warp);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn taf_builder_matches_fig5_line13() {
+        // #pragma approx memo(out:3:5:1.5f) level(thread)
+        let r = ApproxRegion::memo_out(3, 5, 1.5).level(HierarchyLevel::Thread);
+        match r.technique {
+            Technique::Taf(p) => {
+                assert_eq!(p.hsize, 3);
+                assert_eq!(p.psize, 5);
+                assert_eq!(p.threshold, 1.5);
+            }
+            _ => panic!("expected TAF"),
+        }
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn tables_per_warp_ignored_for_taf() {
+        let r = ApproxRegion::memo_out(3, 5, 1.5).tables_per_warp(4);
+        assert!(matches!(r.technique, Technique::Taf(_)));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let r = ApproxRegion::memo_out(0, 5, 1.5);
+        assert!(matches!(r.validate(), Err(RegionError::Invalid(_))));
+    }
+
+    #[test]
+    fn perfo_rejects_group_levels() {
+        let r = ApproxRegion::perfo(PerfoKind::Small { m: 4 }).level(HierarchyLevel::Warp);
+        assert!(r.validate().is_err());
+        let ok = ApproxRegion::perfo(PerfoKind::Small { m: 4 });
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn perfo_herded_default_and_toggle() {
+        let r = ApproxRegion::perfo(PerfoKind::Large { m: 8 });
+        match r.technique {
+            Technique::Perfo(p) => assert!(p.herded),
+            _ => unreachable!(),
+        }
+        let r = r.herded(false);
+        match r.technique {
+            Technique::Perfo(p) => assert!(!p.herded),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn technique_names() {
+        assert_eq!(ApproxRegion::memo_out(1, 2, 0.5).technique_name(), "TAF");
+        assert_eq!(ApproxRegion::memo_in(1, 0.5).technique_name(), "iACT");
+        assert_eq!(
+            ApproxRegion::perfo(PerfoKind::Ini { fraction: 0.1 }).technique_name(),
+            "Perfo"
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RegionError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

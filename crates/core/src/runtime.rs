@@ -1,0 +1,1212 @@
+//! The HPAC-Offload runtime: functional execution of approximated kernels on
+//! the `gpu-sim` substrate.
+//!
+//! [`approx_parallel_for`] is the analogue of launching an annotated
+//! `#pragma omp target teams distribute parallel for` region: it walks the
+//! launch geometry block → grid-stride step → warp (warps execute their
+//! lanes in lockstep at region granularity, where HPAC-Offload's activation
+//! functions and collectives live), evaluates the technique's activation
+//! criterion per lane, resolves the hierarchy-level vote, executes the
+//! accurate path (a real Rust closure) or the approximate path (memoized /
+//! stale outputs), and charges the cycle cost of whichever paths the warp
+//! serialized.
+//!
+//! [`approx_block_tasks`] is the cooperative-block variant used by
+//! benchmarks like Binomial Options where one block computes one work item
+//! and decisions are block-scoped.
+
+use crate::hierarchy::{self, HierarchyLevel, WarpDecision};
+use crate::iact::IactPool;
+use crate::params::{IactParams, PerfoParams, TafParams};
+use crate::perfo;
+use crate::region::{ApproxRegion, RegionError, Technique};
+use crate::shared_state;
+use crate::taf::TafPool;
+use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig, Schedule};
+
+/// The annotated code region: the accurate path, its declared inputs and
+/// outputs, and its cost.
+///
+/// This is the Rust rendering of what HPAC's Clang pass captures as a
+/// closure. `accurate` computes the region for one item; `store` commits an
+/// output vector (both paths call it — the approximate path passes the
+/// memoized vector). Cost methods describe one warp-step's work so the
+/// engine can model kernel time:
+///
+/// * [`RegionBody::accurate_cost`] — the full accurate body including its
+///   global reads and writes;
+/// * [`RegionBody::input_cost`] — only the gathering of the declared region
+///   inputs (paid by iACT's activation on every invocation);
+/// * [`RegionBody::store_cost`] — only the write of the region outputs
+///   (paid by the approximate path when it stores a memoized value).
+pub trait RegionBody {
+    /// Scalars in the declared region input (`in(...)` clause). 0 means the
+    /// region declares no inputs (TAF and perforation need none).
+    fn in_dim(&self) -> usize {
+        0
+    }
+
+    /// Scalars in the declared region output (`out(...)` clause).
+    fn out_dim(&self) -> usize;
+
+    /// Gather the region inputs of item `i` into `buf` (`len == in_dim`).
+    fn inputs(&self, _i: usize, _buf: &mut [f64]) {
+        unreachable!("region declares no inputs; implement `inputs` to use iACT");
+    }
+
+    /// Execute the accurate path for item `i`, writing outputs to `out`.
+    fn accurate(&mut self, i: usize, out: &mut [f64]);
+
+    /// Commit the region outputs for item `i`.
+    fn store(&mut self, i: usize, out: &[f64]);
+
+    /// Cost of one warp executing the accurate path with `lanes` active
+    /// lanes (including the body's own global traffic).
+    fn accurate_cost(&self, lanes: u32, spec: &DeviceSpec) -> CostProfile;
+
+    /// Cost of gathering the declared inputs for `lanes` lanes.
+    fn input_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_read(lanes, (self.in_dim() * 8) as u32, AccessPattern::Coalesced)
+    }
+
+    /// Cost of writing the declared outputs for `lanes` lanes.
+    fn store_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_write(lanes, (self.out_dim() * 8) as u32, AccessPattern::Coalesced)
+    }
+
+    /// `Some(reason)` when iACT cannot apply (the paper's MiniFE case:
+    /// "hpac-offload only supports computations with uniform input sizes").
+    fn iact_incompatibility(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Execution options beyond the pragma surface (ablation switches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Run the "semantically equivalent" serialized GPU TAF of Fig 4(c)
+    /// instead of the relaxed-locality algorithm of Fig 4(d): one state
+    /// machine per warp consumes the warp's items in loop order, and every
+    /// lane's region execution serializes.
+    pub serialized_taf: bool,
+}
+
+/// One active lane of a warp step.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    lane: u32,
+    item: usize,
+    tid: usize,
+}
+
+struct Geom {
+    warp_size: u32,
+    warps_per_block: u32,
+    n_blocks: u32,
+    steps: usize,
+    item_lo: usize,
+}
+
+impl Geom {
+    fn new(spec: &DeviceSpec, launch: &LaunchConfig, item_lo: usize) -> Self {
+        Geom {
+            warp_size: spec.warp_size,
+            warps_per_block: launch.warps_per_block(spec),
+            n_blocks: launch.n_blocks,
+            steps: launch.steps(),
+            item_lo,
+        }
+    }
+
+    fn collect(
+        &self,
+        spec: &DeviceSpec,
+        launch: &LaunchConfig,
+        block: u32,
+        warp: u32,
+        step: usize,
+        lanes: &mut Vec<Lane>,
+    ) {
+        lanes.clear();
+        for lane in 0..self.warp_size {
+            if let Some(idx) = launch.item_for(spec, block, warp, lane, step) {
+                lanes.push(Lane {
+                    lane,
+                    item: self.item_lo + idx,
+                    tid: launch.tid(spec, block, warp, lane),
+                });
+            }
+        }
+    }
+}
+
+/// Launch the region without approximation (the accurate baseline).
+fn run_accurate(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    let mut exec = KernelExec::new(spec, launch, 0)?;
+    let geom = Geom::new(spec, launch, 0);
+    let mut lanes = Vec::with_capacity(spec.warp_size as usize);
+    let mut out = vec![0.0; body.out_dim()];
+    for b in 0..geom.n_blocks {
+        for s in 0..geom.steps {
+            for w in 0..geom.warps_per_block {
+                geom.collect(spec, launch, b, w, s, &mut lanes);
+                if lanes.is_empty() {
+                    continue;
+                }
+                for l in &lanes {
+                    body.accurate(l.item, &mut out);
+                    body.store(l.item, &out);
+                }
+                let cost = body.accurate_cost(lanes.len() as u32, spec);
+                exec.charge(b, w, &cost);
+                exec.note_step(lanes.len() as u32, 0, 0, false);
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+/// Launch an approximated grid-stride parallel-for.
+///
+/// `region = None` runs the accurate baseline with identical bookkeeping.
+pub fn approx_parallel_for(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    approx_parallel_for_opts(spec, launch, region, body, &ExecOptions::default())
+}
+
+/// [`approx_parallel_for`] with ablation options.
+pub fn approx_parallel_for_opts(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn RegionBody,
+    opts: &ExecOptions,
+) -> Result<KernelRecord, RegionError> {
+    let Some(region) = region else {
+        return run_accurate(spec, launch, body);
+    };
+    region.validate()?;
+    if body.out_dim() == 0 {
+        return Err(RegionError::Invalid("region must declare outputs".into()));
+    }
+    if let Technique::Iact(_) = region.technique {
+        if let Some(reason) = body.iact_incompatibility() {
+            return Err(RegionError::Invalid(format!(
+                "iACT not applicable to this region: {reason}"
+            )));
+        }
+        if body.in_dim() == 0 {
+            return Err(RegionError::Invalid(
+                "iACT requires the region to declare inputs".into(),
+            ));
+        }
+    }
+
+    let shared =
+        shared_state::region_block_bytes(region, spec, launch, body.in_dim(), body.out_dim())
+            .map_err(RegionError::Invalid)?;
+
+    match region.technique {
+        Technique::Perfo(p) => run_perfo(spec, launch, shared, &p, body),
+        Technique::Taf(p) => {
+            if opts.serialized_taf {
+                run_taf_serialized(spec, launch, shared, &p, body)
+            } else {
+                run_taf(spec, launch, shared, &p, region.level, body)
+            }
+        }
+        Technique::Iact(p) => run_iact(spec, launch, shared, &p, region.level, body),
+    }
+}
+
+fn run_perfo(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    shared: usize,
+    params: &PerfoParams,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    let (lo, hi) = perfo::bounds(params, launch.n_items);
+    if lo >= hi {
+        return Err(RegionError::Invalid(
+            "perforation drops the entire iteration space".into(),
+        ));
+    }
+    // ini/fini are loop-bound changes: the kernel iterates only [lo, hi).
+    let eff = LaunchConfig {
+        n_items: hi - lo,
+        block_size: launch.block_size,
+        n_blocks: launch.n_blocks,
+        schedule: Schedule::GridStride,
+    };
+    let mut exec = KernelExec::new(spec, &eff, shared)?;
+    let geom = Geom::new(spec, &eff, lo);
+    let mut lanes = Vec::with_capacity(spec.warp_size as usize);
+    let mut out = vec![0.0; body.out_dim()];
+
+    for b in 0..geom.n_blocks {
+        for s in 0..geom.steps {
+            for w in 0..geom.warps_per_block {
+                geom.collect(spec, &eff, b, w, s, &mut lanes);
+                if lanes.is_empty() {
+                    continue;
+                }
+                let mut n_exec = 0u32;
+                let mut n_skip = 0u32;
+                for l in &lanes {
+                    if perfo::should_skip(params, l.item, l.item / spec.warp_size as usize) {
+                        n_skip += 1;
+                    } else {
+                        body.accurate(l.item, &mut out);
+                        body.store(l.item, &out);
+                        n_exec += 1;
+                    }
+                }
+                // Encounter-counter bookkeeping.
+                let mut cost = CostProfile::new().flops(1.0);
+                if n_exec > 0 {
+                    // Non-herded patterns leave the warp's memory span
+                    // fragmented and the SIMD issue width unchanged, so the
+                    // warp pays the cost of its full active width; herded
+                    // skips are all-or-nothing so this is equivalent there.
+                    let effective = if params.herded { n_exec } else { lanes.len() as u32 };
+                    cost = cost.add(&body.accurate_cost(effective, spec));
+                }
+                exec.charge(b, w, &cost);
+                exec.note_step(n_exec, 0, n_skip, n_exec > 0 && n_skip > 0);
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+fn run_taf(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    shared: usize,
+    params: &TafParams,
+    level: HierarchyLevel,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    let mut exec = KernelExec::new(spec, launch, shared)?;
+    let geom = Geom::new(spec, launch, 0);
+    let out_dim = body.out_dim();
+    let mut pool = TafPool::new(launch.total_threads(), out_dim, *params);
+
+    let ws = spec.warp_size as usize;
+    let mut lanes = Vec::with_capacity(ws);
+    let mut want = vec![false; ws];
+    let mut out = vec![0.0; out_dim];
+
+    for b in 0..geom.n_blocks {
+        for s in 0..geom.steps {
+            // Block-level: tally votes across the whole block first.
+            let block_decision = if level == HierarchyLevel::Block {
+                let mut yes = 0u32;
+                let mut active = 0u32;
+                for w in 0..geom.warps_per_block {
+                    geom.collect(spec, launch, b, w, s, &mut lanes);
+                    active += lanes.len() as u32;
+                    yes += lanes.iter().filter(|l| pool.wants_approx(l.tid)).count() as u32;
+                }
+                Some(hierarchy::group_decision(yes, active))
+            } else {
+                None
+            };
+
+            for w in 0..geom.warps_per_block {
+                geom.collect(spec, launch, b, w, s, &mut lanes);
+                if lanes.is_empty() {
+                    continue;
+                }
+                for (k, l) in lanes.iter().enumerate() {
+                    want[k] = pool.wants_approx(l.tid);
+                }
+                let decision = match block_decision {
+                    Some(d) => d,
+                    None => hierarchy::warp_decide(level, &want[..lanes.len()]),
+                };
+
+                let mut n_acc = 0u32;
+                let mut n_apx = 0u32;
+                for (k, l) in lanes.iter().enumerate() {
+                    let approx = match decision {
+                        WarpDecision::PerLane => want[k],
+                        WarpDecision::GroupApprox => pool.can_approximate(l.tid),
+                        WarpDecision::GroupAccurate => false,
+                    };
+                    if approx {
+                        out.copy_from_slice(pool.last(l.tid));
+                        body.store(l.item, &out);
+                        pool.note_approx(l.tid);
+                        n_apx += 1;
+                    } else {
+                        body.accurate(l.item, &mut out);
+                        body.store(l.item, &out);
+                        pool.observe(l.tid, &out);
+                        n_acc += 1;
+                    }
+                }
+
+                let mut cost = pool.activation_cost().add(&hierarchy::decision_cost(level));
+                if n_acc > 0 {
+                    cost = cost
+                        .add(&body.accurate_cost(n_acc, spec))
+                        .add(&pool.observe_cost());
+                }
+                if n_apx > 0 {
+                    cost = cost
+                        .add(&pool.predict_cost())
+                        .add(&body.store_cost(n_apx, spec));
+                }
+                exec.charge(b, w, &cost);
+                exec.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+/// Fig 4(c) ablation: the "semantically equivalent" GPU TAF. One state
+/// machine per warp consumes the warp's items in loop order (spatial
+/// locality preserved), and lanes execute one at a time while the rest of
+/// the warp idles — the serialization the relaxed-locality design removes.
+fn run_taf_serialized(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    shared: usize,
+    params: &TafParams,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    let mut exec = KernelExec::new(spec, launch, shared)?;
+    let geom = Geom::new(spec, launch, 0);
+    let out_dim = body.out_dim();
+    let n_warps = geom.n_blocks as usize * geom.warps_per_block as usize;
+    let mut pool = TafPool::new(n_warps, out_dim, *params);
+
+    let mut lanes = Vec::with_capacity(spec.warp_size as usize);
+    let mut out = vec![0.0; out_dim];
+
+    for b in 0..geom.n_blocks {
+        for s in 0..geom.steps {
+            for w in 0..geom.warps_per_block {
+                geom.collect(spec, launch, b, w, s, &mut lanes);
+                if lanes.is_empty() {
+                    continue;
+                }
+                let wid = b as usize * geom.warps_per_block as usize + w as usize;
+                let mut n_acc = 0u32;
+                let mut n_apx = 0u32;
+                let mut cost = pool.activation_cost();
+                for l in &lanes {
+                    if pool.wants_approx(wid) {
+                        out.copy_from_slice(pool.last(wid));
+                        body.store(l.item, &out);
+                        pool.note_approx(wid);
+                        n_apx += 1;
+                        cost = cost.add(&pool.predict_cost()).add(&body.store_cost(1, spec));
+                    } else {
+                        body.accurate(l.item, &mut out);
+                        body.store(l.item, &out);
+                        pool.observe(wid, &out);
+                        n_acc += 1;
+                        // Serialized: each lane pays a full single-lane body.
+                        cost = cost
+                            .add(&body.accurate_cost(1, spec))
+                            .add(&pool.observe_cost());
+                    }
+                }
+                exec.charge(b, w, &cost);
+                exec.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+fn run_iact(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    shared: usize,
+    params: &IactParams,
+    level: HierarchyLevel,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    let tables_per_warp = params
+        .effective_tables_per_warp(spec.warp_size)
+        .map_err(RegionError::Invalid)?;
+    let lanes_per_table = spec.warp_size / tables_per_warp;
+
+    let mut exec = KernelExec::new(spec, launch, shared)?;
+    let geom = Geom::new(spec, launch, 0);
+    let in_dim = body.in_dim();
+    let out_dim = body.out_dim();
+    let n_tables =
+        geom.n_blocks as usize * geom.warps_per_block as usize * tables_per_warp as usize;
+    let mut pool = IactPool::new(n_tables, in_dim, out_dim, *params);
+
+    let ws = spec.warp_size as usize;
+    let mut lanes = Vec::with_capacity(ws);
+    let mut want = vec![false; ws];
+    let mut in_cache = vec![0.0; ws * in_dim];
+    let mut out_cache = vec![0.0; ws * out_dim];
+    let mut probe_slot: Vec<Option<usize>> = vec![None; ws];
+    let mut probe_dist = vec![f64::INFINITY; ws];
+    let mut acc_mask = vec![false; ws];
+    let mut out = vec![0.0; out_dim];
+    let mut query = vec![0.0; in_dim];
+
+    // Block-level vote tallies are collected warp-by-warp within the step
+    // loop; for simplicity of bookkeeping we recompute probes per warp in a
+    // single pass and, for block level, pre-tally with a cheap extra pass.
+    for b in 0..geom.n_blocks {
+        for s in 0..geom.steps {
+            let block_decision = if level == HierarchyLevel::Block {
+                let mut yes = 0u32;
+                let mut active = 0u32;
+                for w in 0..geom.warps_per_block {
+                    geom.collect(spec, launch, b, w, s, &mut lanes);
+                    let table_base = (b as usize * geom.warps_per_block as usize + w as usize)
+                        * tables_per_warp as usize;
+                    for l in &lanes {
+                        let t = table_base + (l.lane / lanes_per_table) as usize;
+                        body.inputs(l.item, &mut query);
+                        let probe = pool.probe(t, &query);
+                        active += 1;
+                        if probe.hit(params.threshold) {
+                            yes += 1;
+                        }
+                    }
+                }
+                Some(hierarchy::group_decision(yes, active))
+            } else {
+                None
+            };
+
+            for w in 0..geom.warps_per_block {
+                geom.collect(spec, launch, b, w, s, &mut lanes);
+                if lanes.is_empty() {
+                    continue;
+                }
+                let table_base = (b as usize * geom.warps_per_block as usize + w as usize)
+                    * tables_per_warp as usize;
+
+                // Read phase: gather inputs, probe tables.
+                for (k, l) in lanes.iter().enumerate() {
+                    let t = table_base + (l.lane / lanes_per_table) as usize;
+                    body.inputs(l.item, &mut in_cache[k * in_dim..(k + 1) * in_dim]);
+                    let probe = pool.probe(t, &in_cache[k * in_dim..(k + 1) * in_dim]);
+                    probe_slot[k] = probe.slot;
+                    probe_dist[k] = probe.distance;
+                    want[k] = probe.hit(params.threshold);
+                }
+                let decision = match block_decision {
+                    Some(d) => d,
+                    None => hierarchy::warp_decide(level, &want[..lanes.len()]),
+                };
+
+                let mut n_acc = 0u32;
+                let mut n_apx = 0u32;
+                for (k, l) in lanes.iter().enumerate() {
+                    let t = table_base + (l.lane / lanes_per_table) as usize;
+                    let approx = match decision {
+                        WarpDecision::PerLane => want[k],
+                        // A forced lane returns its *nearest* entry even
+                        // beyond the threshold; with an empty table it must
+                        // execute accurately.
+                        WarpDecision::GroupApprox => probe_slot[k].is_some(),
+                        WarpDecision::GroupAccurate => false,
+                    };
+                    acc_mask[k] = !approx;
+                    if approx {
+                        let slot = probe_slot[k].expect("approx lane must have an entry");
+                        out.copy_from_slice(pool.output(t, slot));
+                        pool.touch(t, slot);
+                        body.store(l.item, &out);
+                        n_apx += 1;
+                    } else {
+                        body.accurate(l.item, &mut out);
+                        out_cache[k * out_dim..(k + 1) * out_dim].copy_from_slice(&out);
+                        body.store(l.item, &out);
+                        n_acc += 1;
+                    }
+                }
+
+                // Write phase: one writer per table — the accurate lane whose
+                // inputs were farthest from any cached entry (most novel).
+                if n_acc > 0 {
+                    for table_off in 0..tables_per_warp {
+                        let t = table_base + table_off as usize;
+                        let mut writer: Option<usize> = None;
+                        let mut best = f64::NEG_INFINITY;
+                        for (k, l) in lanes.iter().enumerate() {
+                            if !acc_mask[k] || (l.lane / lanes_per_table) != table_off {
+                                continue;
+                            }
+                            let d = probe_dist[k];
+                            if d > best {
+                                best = d;
+                                writer = Some(k);
+                            }
+                        }
+                        if let Some(k) = writer {
+                            pool.insert(
+                                t,
+                                &in_cache[k * in_dim..(k + 1) * in_dim],
+                                &out_cache[k * out_dim..(k + 1) * out_dim],
+                            );
+                        }
+                    }
+                }
+
+                let mut cost = hierarchy::decision_cost(level)
+                    .add(&body.input_cost(lanes.len() as u32, spec))
+                    .add(&pool.search_cost());
+                if n_acc > 0 {
+                    cost = cost
+                        .add(&body.accurate_cost(n_acc, spec))
+                        .add(&pool.write_phase_cost(lanes_per_table));
+                }
+                if n_apx > 0 {
+                    cost = cost
+                        .add(&pool.hit_cost())
+                        .add(&body.store_cost(n_apx, spec));
+                }
+                exec.charge(b, w, &cost);
+                exec.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+/// A cooperative block task: one thread block computes one work item
+/// (Binomial Options' one-block-per-option pattern). Decisions are
+/// block-scoped — there is one AC state per block and the whole block takes
+/// one path.
+pub trait BlockTaskBody {
+    /// Scalars in the declared task input.
+    fn in_dim(&self) -> usize {
+        0
+    }
+
+    /// Scalars in the declared task output.
+    fn out_dim(&self) -> usize;
+
+    /// Gather the task inputs.
+    fn inputs(&self, _task: usize, _buf: &mut [f64]) {
+        unreachable!("task declares no inputs; implement `inputs` to use iACT");
+    }
+
+    /// Execute the accurate task, writing outputs to `out`.
+    fn accurate(&mut self, task: usize, out: &mut [f64]);
+
+    /// Commit the task outputs.
+    fn store(&mut self, task: usize, out: &[f64]);
+
+    /// Per-warp cost of one accurate task execution (the block's warps
+    /// cooperate; each warp is charged this profile).
+    fn task_cost_per_warp(&self, spec: &DeviceSpec) -> CostProfile;
+
+    /// Cost of gathering task inputs (one warp does it).
+    fn input_cost(&self, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_read(1, (self.in_dim() * 8) as u32, AccessPattern::Broadcast)
+    }
+
+    /// Cost of writing task outputs (one warp does it).
+    fn store_cost(&self, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_write(1, (self.out_dim() * 8) as u32, AccessPattern::Broadcast)
+    }
+}
+
+/// Launch a block-cooperative kernel over `n_tasks` tasks with block-level
+/// approximation. Blocks grid-stride over tasks: block `b` handles tasks
+/// `b, b + n_blocks, ...`.
+pub fn approx_block_tasks(
+    spec: &DeviceSpec,
+    n_tasks: usize,
+    block_size: u32,
+    n_blocks: u32,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn BlockTaskBody,
+) -> Result<KernelRecord, RegionError> {
+    if n_tasks == 0 {
+        return Err(RegionError::Invalid("no tasks to execute".into()));
+    }
+    let launch = LaunchConfig {
+        n_items: n_tasks,
+        block_size,
+        n_blocks,
+        schedule: Schedule::GridStride,
+    };
+    let out_dim = body.out_dim();
+    let in_dim = body.in_dim();
+
+    let (shared, technique, level) = match region {
+        None => (0, None, HierarchyLevel::Block),
+        Some(r) => {
+            r.validate()?;
+            match r.technique {
+                Technique::Taf(_) | Technique::Iact(_) if r.level != HierarchyLevel::Block => {
+                    return Err(RegionError::Invalid(
+                        "block-cooperative tasks require level(block) decisions".into(),
+                    ));
+                }
+                _ => {}
+            }
+            if let Technique::Iact(_) = r.technique {
+                if in_dim == 0 {
+                    return Err(RegionError::Invalid(
+                        "iACT requires the task to declare inputs".into(),
+                    ));
+                }
+            }
+            // Block-task AC state: a single state machine / table per block.
+            let bytes = match &r.technique {
+                Technique::Taf(p) => {
+                    p.hsize * shared_state::AC_SCALAR_BYTES
+                        + out_dim * shared_state::AC_SCALAR_BYTES
+                        + shared_state::TAF_CONTROL_BYTES
+                }
+                Technique::Iact(p) => shared_state::iact_block_bytes(1, 1, p, in_dim, out_dim),
+                Technique::Perfo(_) => 4,
+            } + shared_state::block_vote_bytes(HierarchyLevel::Block);
+            (bytes, Some(r.technique), r.level)
+        }
+    };
+    let _ = level;
+
+    let mut exec = KernelExec::new(spec, &launch, shared)?;
+    let warps = launch.warps_per_block(spec);
+    let steps = n_tasks.div_ceil(n_blocks as usize);
+
+    let mut taf_pool = match technique {
+        Some(Technique::Taf(p)) => Some(TafPool::new(n_blocks as usize, out_dim, p)),
+        _ => None,
+    };
+    let mut iact_pool = match technique {
+        Some(Technique::Iact(p)) => Some(IactPool::new(n_blocks as usize, in_dim, out_dim, p)),
+        _ => None,
+    };
+    let perfo_params = match technique {
+        Some(Technique::Perfo(p)) => Some(p),
+        _ => None,
+    };
+
+    let mut out = vec![0.0; out_dim];
+    let mut query = vec![0.0; in_dim];
+
+    for b in 0..n_blocks {
+        for s in 0..steps {
+            let task = b as usize + s * n_blocks as usize;
+            if task >= n_tasks {
+                continue;
+            }
+
+            // Decide the block's path.
+            enum Path {
+                Accurate,
+                Approx,
+                Skip,
+            }
+            let (path, iact_slot) = if let Some(p) = &perfo_params {
+                if perfo::should_skip(p, task, s) {
+                    (Path::Skip, None)
+                } else {
+                    (Path::Accurate, None)
+                }
+            } else if let Some(pool) = &taf_pool {
+                if pool.wants_approx(b as usize) {
+                    (Path::Approx, None)
+                } else {
+                    (Path::Accurate, None)
+                }
+            } else if let Some(pool) = &iact_pool {
+                body.inputs(task, &mut query);
+                let probe = pool.probe(b as usize, &query);
+                if probe.hit(pool.params().threshold) {
+                    (Path::Approx, probe.slot)
+                } else {
+                    (Path::Accurate, None)
+                }
+            } else {
+                (Path::Accurate, None)
+            };
+
+            let decision_overhead = if technique.is_some() {
+                hierarchy::decision_cost(HierarchyLevel::Block)
+            } else {
+                CostProfile::new()
+            };
+
+            match path {
+                Path::Skip => {
+                    for w in 0..warps {
+                        exec.charge(b, w, &CostProfile::new().flops(1.0));
+                    }
+                    exec.note_step(0, 0, 1, false);
+                }
+                Path::Approx => {
+                    if let Some(pool) = &mut taf_pool {
+                        out.copy_from_slice(pool.last(b as usize));
+                        pool.note_approx(b as usize);
+                    } else if let Some(pool) = &mut iact_pool {
+                        let slot = iact_slot.expect("iACT hit must carry a slot");
+                        out.copy_from_slice(pool.output(b as usize, slot));
+                        pool.touch(b as usize, slot);
+                    }
+                    body.store(task, &out);
+                    let c = decision_overhead
+                        .add(&body.input_cost(spec))
+                        .add(&body.store_cost(spec));
+                    for w in 0..warps {
+                        exec.charge(b, w, &c);
+                    }
+                    exec.note_step(0, 1, 0, false);
+                }
+                Path::Accurate => {
+                    body.accurate(task, &mut out);
+                    body.store(task, &out);
+                    if let Some(pool) = &mut taf_pool {
+                        pool.observe(b as usize, &out);
+                    } else if let Some(pool) = &mut iact_pool {
+                        body.inputs(task, &mut query);
+                        pool.insert(b as usize, &query, &out);
+                    }
+                    let mut c = decision_overhead.add(&body.task_cost_per_warp(spec));
+                    if let Some(pool) = &iact_pool {
+                        c = c.add(&pool.search_cost()).add(&pool.write_phase_cost(1));
+                    }
+                    for w in 0..warps {
+                        exec.charge(b, w, &c);
+                    }
+                    exec.note_step(1, 0, 0, false);
+                }
+            }
+        }
+    }
+    Ok(exec.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PerfoKind;
+
+    /// A simple square-root region over an input array.
+    struct SqrtBody {
+        input: Vec<f64>,
+        output: Vec<f64>,
+        calls: usize,
+    }
+
+    impl SqrtBody {
+        fn new(n: usize) -> Self {
+            SqrtBody {
+                input: (0..n).map(|i| (i % 16) as f64).collect(),
+                output: vec![-1.0; n],
+                calls: 0,
+            }
+        }
+    }
+
+    impl RegionBody for SqrtBody {
+        fn in_dim(&self) -> usize {
+            1
+        }
+        fn out_dim(&self) -> usize {
+            1
+        }
+        fn inputs(&self, i: usize, buf: &mut [f64]) {
+            buf[0] = self.input[i];
+        }
+        fn accurate(&mut self, i: usize, out: &mut [f64]) {
+            self.calls += 1;
+            out[0] = (self.input[i] + 1.0).sqrt();
+        }
+        fn store(&mut self, i: usize, out: &[f64]) {
+            self.output[i] = out[0];
+        }
+        fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+            CostProfile::new()
+                .flops(4.0)
+                .sfu(1.0)
+                .global_read(lanes, 8, AccessPattern::Coalesced)
+                .global_write(lanes, 8, AccessPattern::Coalesced)
+        }
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    const N: usize = 4096;
+
+    fn launch(ipt: usize) -> LaunchConfig {
+        LaunchConfig::for_items_per_thread(N, 128, ipt)
+    }
+
+    #[test]
+    fn accurate_baseline_computes_everything() {
+        let mut body = SqrtBody::new(N);
+        let rec = approx_parallel_for(&spec(), &launch(1), None, &mut body).unwrap();
+        assert_eq!(body.calls, N);
+        assert!(body.output.iter().all(|&o| o >= 1.0));
+        assert_eq!(rec.stats.accurate_lanes, N as u64);
+        assert_eq!(rec.stats.approx_fraction(), 0.0);
+    }
+
+    #[test]
+    fn taf_zero_threshold_on_varying_data_stays_accurate() {
+        // Thread-consecutive items differ (period 17 is coprime to the
+        // grid stride), so windows are never constant and threshold 0
+        // never approximates.
+        let mut body = SqrtBody::new(N);
+        for (i, v) in body.input.iter_mut().enumerate() {
+            *v = (i % 17) as f64;
+        }
+        let region = ApproxRegion::memo_out(2, 8, 0.0);
+        let rec = approx_parallel_for(&spec(), &launch(8), Some(&region), &mut body).unwrap();
+        assert_eq!(body.calls, N);
+        assert_eq!(rec.stats.approx_lanes, 0);
+    }
+
+    #[test]
+    fn taf_constant_data_approximates_heavily() {
+        let mut body = SqrtBody::new(N);
+        body.input.iter_mut().for_each(|v| *v = 7.0);
+        let region = ApproxRegion::memo_out(2, 64, 0.1);
+        let rec = approx_parallel_for(&spec(), &launch(64), Some(&region), &mut body).unwrap();
+        assert!(rec.stats.approx_fraction() > 0.5, "fraction = {}", rec.stats.approx_fraction());
+        // Approximate outputs equal the memoized accurate value -> no error.
+        let expect = (7.0f64 + 1.0).sqrt();
+        assert!(body.output.iter().all(|&o| (o - expect).abs() < 1e-12));
+    }
+
+    #[test]
+    fn taf_faster_than_accurate_on_stable_data() {
+        let mut acc = SqrtBody::new(N);
+        acc.input.iter_mut().for_each(|v| *v = 3.0);
+        let base = approx_parallel_for(&spec(), &launch(64), None, &mut acc).unwrap();
+
+        let mut apx = SqrtBody::new(N);
+        apx.input.iter_mut().for_each(|v| *v = 3.0);
+        let region = ApproxRegion::memo_out(1, 64, 0.1);
+        let fast = approx_parallel_for(&spec(), &launch(64), Some(&region), &mut apx).unwrap();
+        assert!(
+            fast.timing.cycles < base.timing.cycles,
+            "approx {} >= accurate {}",
+            fast.timing.cycles,
+            base.timing.cycles
+        );
+    }
+
+    #[test]
+    fn iact_exact_repeats_hit() {
+        // Only 16 distinct inputs: small tables quickly cover them.
+        let mut body = SqrtBody::new(N);
+        let region = ApproxRegion::memo_in(8, 1e-9).tables_per_warp(1);
+        let rec = approx_parallel_for(&spec(), &launch(32), Some(&region), &mut body).unwrap();
+        assert!(rec.stats.approx_lanes > 0);
+        // Exact-match hits mean zero output error.
+        for (i, &o) in body.output.iter().enumerate() {
+            let expect = (body.input[i] + 1.0).sqrt();
+            assert!((o - expect).abs() < 1e-12, "item {i}");
+        }
+    }
+
+    #[test]
+    fn iact_zero_threshold_still_exact() {
+        let mut body = SqrtBody::new(N);
+        let region = ApproxRegion::memo_in(4, 0.0);
+        let rec = approx_parallel_for(&spec(), &launch(16), Some(&region), &mut body).unwrap();
+        // threshold 0 hits only identical inputs -> outputs identical.
+        for (i, &o) in body.output.iter().enumerate() {
+            let expect = (body.input[i] + 1.0).sqrt();
+            assert!((o - expect).abs() < 1e-12);
+        }
+        let _ = rec;
+    }
+
+    #[test]
+    fn iact_requires_inputs() {
+        struct NoIn(Vec<f64>);
+        impl RegionBody for NoIn {
+            fn out_dim(&self) -> usize {
+                1
+            }
+            fn accurate(&mut self, _i: usize, out: &mut [f64]) {
+                out[0] = 1.0;
+            }
+            fn store(&mut self, i: usize, out: &[f64]) {
+                self.0[i] = out[0];
+            }
+            fn accurate_cost(&self, _l: u32, _s: &DeviceSpec) -> CostProfile {
+                CostProfile::new().flops(1.0)
+            }
+        }
+        let mut body = NoIn(vec![0.0; 64]);
+        let region = ApproxRegion::memo_in(4, 0.5);
+        let lc = LaunchConfig::one_item_per_thread(64, 64);
+        let err = approx_parallel_for(&spec(), &lc, Some(&region), &mut body).unwrap_err();
+        assert!(matches!(err, RegionError::Invalid(_)));
+    }
+
+    #[test]
+    fn iact_incompatibility_rejected() {
+        struct Varying(Vec<f64>);
+        impl RegionBody for Varying {
+            fn in_dim(&self) -> usize {
+                3
+            }
+            fn out_dim(&self) -> usize {
+                1
+            }
+            fn inputs(&self, _i: usize, buf: &mut [f64]) {
+                buf.fill(0.0);
+            }
+            fn accurate(&mut self, _i: usize, out: &mut [f64]) {
+                out[0] = 1.0;
+            }
+            fn store(&mut self, i: usize, out: &[f64]) {
+                self.0[i] = out[0];
+            }
+            fn accurate_cost(&self, _l: u32, _s: &DeviceSpec) -> CostProfile {
+                CostProfile::new().flops(1.0)
+            }
+            fn iact_incompatibility(&self) -> Option<String> {
+                Some("input sizes vary across threads (CSR rows)".into())
+            }
+        }
+        let mut body = Varying(vec![0.0; 64]);
+        let region = ApproxRegion::memo_in(4, 0.5);
+        let lc = LaunchConfig::one_item_per_thread(64, 64);
+        let err = approx_parallel_for(&spec(), &lc, Some(&region), &mut body).unwrap_err();
+        match err {
+            RegionError::Invalid(msg) => assert!(msg.contains("CSR")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perfo_large_skips_most_items() {
+        let mut body = SqrtBody::new(N);
+        let region = ApproxRegion::perfo(PerfoKind::Large { m: 4 }).herded(false);
+        let rec = approx_parallel_for(&spec(), &launch(1), Some(&region), &mut body).unwrap();
+        assert_eq!(body.calls, N / 4);
+        assert_eq!(rec.stats.skipped_lanes, (N - N / 4) as u64);
+        // Skipped items keep their initial (stale) output.
+        assert!(body.output.iter().filter(|&&o| o == -1.0).count() == N - N / 4);
+    }
+
+    #[test]
+    fn herded_perfo_cheaper_than_naive() {
+        let region_naive = ApproxRegion::perfo(PerfoKind::Small { m: 4 }).herded(false);
+        let region_herd = ApproxRegion::perfo(PerfoKind::Small { m: 4 });
+        let lc = launch(64);
+        let mut b1 = SqrtBody::new(N);
+        let naive = approx_parallel_for(&spec(), &lc, Some(&region_naive), &mut b1).unwrap();
+        let mut b2 = SqrtBody::new(N);
+        let herd = approx_parallel_for(&spec(), &lc, Some(&region_herd), &mut b2).unwrap();
+        // Herded perforation issues strictly less work (whole warps skip);
+        // wall-clock can coincide when the launch is latency-bound.
+        assert!(
+            herd.stats.total_issue_cycles < naive.stats.total_issue_cycles,
+            "herded {} >= naive {}",
+            herd.stats.total_issue_cycles,
+            naive.stats.total_issue_cycles
+        );
+        assert!(herd.timing.cycles <= naive.timing.cycles);
+        // Naive diverges, herded does not.
+        assert!(naive.stats.divergent_steps > 0);
+        assert_eq!(herd.stats.divergent_steps, 0);
+    }
+
+    #[test]
+    fn ini_perfo_shrinks_bounds() {
+        let mut body = SqrtBody::new(N);
+        let region = ApproxRegion::perfo(PerfoKind::Ini { fraction: 0.5 });
+        approx_parallel_for(&spec(), &launch(1), Some(&region), &mut body).unwrap();
+        assert_eq!(body.calls, N / 2);
+        assert!(body.output[..N / 2].iter().all(|&o| o == -1.0));
+        assert!(body.output[N / 2..].iter().all(|&o| o >= 1.0));
+    }
+
+    #[test]
+    fn fini_perfo_drops_tail() {
+        let mut body = SqrtBody::new(N);
+        let region = ApproxRegion::perfo(PerfoKind::Fini { fraction: 0.25 });
+        approx_parallel_for(&spec(), &launch(1), Some(&region), &mut body).unwrap();
+        assert_eq!(body.calls, 3 * N / 4);
+        assert!(body.output[3 * N / 4..].iter().all(|&o| o == -1.0));
+    }
+
+    #[test]
+    fn warp_level_eliminates_divergence() {
+        // Mixed data: half the warps' lanes see constant input, half varying.
+        let mut mk = |level: HierarchyLevel| {
+            let mut body = SqrtBody::new(N);
+            // Even lanes see a constant stream (stable), odd lanes a
+            // strictly increasing one (never stable): thread level diverges.
+            for (i, v) in body.input.iter_mut().enumerate() {
+                *v = if i % 2 == 0 { 5.0 } else { i as f64 };
+            }
+            let region = ApproxRegion::memo_out(2, 32, 0.05).level(level);
+            approx_parallel_for(&spec(), &launch(64), Some(&region), &mut body).unwrap()
+        };
+        let thread = mk(HierarchyLevel::Thread);
+        let warp = mk(HierarchyLevel::Warp);
+        assert!(thread.stats.divergent_steps > 0);
+        assert_eq!(warp.stats.divergent_steps, 0);
+    }
+
+    #[test]
+    fn serialized_taf_much_slower() {
+        let mut b1 = SqrtBody::new(N);
+        b1.input.iter_mut().for_each(|v| *v = 2.0);
+        let region = ApproxRegion::memo_out(2, 16, 0.1);
+        let relaxed = approx_parallel_for(&spec(), &launch(16), Some(&region), &mut b1).unwrap();
+
+        let mut b2 = SqrtBody::new(N);
+        b2.input.iter_mut().for_each(|v| *v = 2.0);
+        let serialized = approx_parallel_for_opts(
+            &spec(),
+            &launch(16),
+            Some(&region),
+            &mut b2,
+            &ExecOptions {
+                serialized_taf: true,
+            },
+        )
+        .unwrap();
+        assert!(
+            serialized.timing.cycles > 2.0 * relaxed.timing.cycles,
+            "serialized {} vs relaxed {}",
+            serialized.timing.cycles,
+            relaxed.timing.cycles
+        );
+    }
+
+    #[test]
+    fn oversized_ac_state_rejected_at_launch() {
+        let mut body = SqrtBody::new(N);
+        // 1024 threads/block * 4096-entry window would blow shared memory.
+        let region = ApproxRegion::memo_out(4096, 8, 0.5);
+        let lc = LaunchConfig {
+            n_items: N,
+            block_size: 1024,
+            n_blocks: 4,
+            schedule: Schedule::GridStride,
+        };
+        let err = approx_parallel_for(&spec(), &lc, Some(&region), &mut body).unwrap_err();
+        assert!(matches!(
+            err,
+            RegionError::Launch(gpu_sim::LaunchError::SharedMemExceeded { .. })
+        ));
+    }
+
+    // --- block tasks -------------------------------------------------------
+
+    struct TaskBody {
+        params: Vec<f64>,
+        prices: Vec<f64>,
+        calls: usize,
+    }
+
+    impl TaskBody {
+        fn new(n: usize) -> Self {
+            TaskBody {
+                params: (0..n).map(|i| (i % 8) as f64).collect(),
+                prices: vec![0.0; n],
+                calls: 0,
+            }
+        }
+    }
+
+    impl BlockTaskBody for TaskBody {
+        fn in_dim(&self) -> usize {
+            1
+        }
+        fn out_dim(&self) -> usize {
+            1
+        }
+        fn inputs(&self, task: usize, buf: &mut [f64]) {
+            buf[0] = self.params[task];
+        }
+        fn accurate(&mut self, task: usize, out: &mut [f64]) {
+            self.calls += 1;
+            out[0] = self.params[task] * 2.0 + 1.0;
+        }
+        fn store(&mut self, task: usize, out: &[f64]) {
+            self.prices[task] = out[0];
+        }
+        fn task_cost_per_warp(&self, _spec: &DeviceSpec) -> CostProfile {
+            CostProfile::new().flops(1000.0)
+        }
+    }
+
+    #[test]
+    fn block_tasks_accurate_baseline() {
+        let mut body = TaskBody::new(256);
+        let rec = approx_block_tasks(&spec(), 256, 128, 64, None, &mut body).unwrap();
+        assert_eq!(body.calls, 256);
+        assert!(body.prices.iter().all(|&p| p >= 1.0));
+        assert_eq!(rec.stats.accurate_lanes, 256);
+    }
+
+    #[test]
+    fn block_tasks_taf_approximates_repeats() {
+        // Blocks grid-stride: block b sees tasks b, b+64, ... with params
+        // (b%8), (b+64)%8 = same value -> constant output stream.
+        let mut body = TaskBody::new(1024);
+        let region = ApproxRegion::memo_out(2, 8, 0.01).level(HierarchyLevel::Block);
+        let rec = approx_block_tasks(&spec(), 1024, 128, 64, Some(&region), &mut body).unwrap();
+        assert!(rec.stats.approx_lanes > 0);
+        // Every task's price still exact because repeated params repeat prices.
+        for (t, &p) in body.prices.iter().enumerate() {
+            assert!((p - (body.params[t] * 2.0 + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_tasks_iact_hits_on_repeats() {
+        let mut body = TaskBody::new(1024);
+        let region = ApproxRegion::memo_in(8, 1e-9).level(HierarchyLevel::Block);
+        let rec = approx_block_tasks(&spec(), 1024, 128, 64, Some(&region), &mut body).unwrap();
+        assert!(rec.stats.approx_lanes > 0);
+        assert!(body.calls < 1024);
+        for (t, &p) in body.prices.iter().enumerate() {
+            assert!((p - (body.params[t] * 2.0 + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_tasks_reject_thread_level_memo() {
+        let mut body = TaskBody::new(64);
+        let region = ApproxRegion::memo_out(2, 8, 0.5); // thread level
+        let err = approx_block_tasks(&spec(), 64, 128, 16, Some(&region), &mut body).unwrap_err();
+        assert!(matches!(err, RegionError::Invalid(_)));
+    }
+
+    #[test]
+    fn block_tasks_taf_cheaper_on_stable_stream() {
+        let n = 2048;
+        let mut b_acc = TaskBody::new(n);
+        b_acc.params.iter_mut().for_each(|p| *p = 4.0);
+        let base = approx_block_tasks(&spec(), n, 128, 64, None, &mut b_acc).unwrap();
+
+        let mut b_apx = TaskBody::new(n);
+        b_apx.params.iter_mut().for_each(|p| *p = 4.0);
+        let region = ApproxRegion::memo_out(1, 16, 0.01).level(HierarchyLevel::Block);
+        let fast = approx_block_tasks(&spec(), n, 128, 64, Some(&region), &mut b_apx).unwrap();
+        assert!(fast.timing.cycles < base.timing.cycles);
+    }
+}

@@ -1,0 +1,232 @@
+//! Launch geometry: grid/block dimensions and grid-stride item assignment.
+//!
+//! HPAC-Offload explores the interaction between parallelism and
+//! approximation through the `num_teams` clause: assigning more loop
+//! iterations ("items") to each thread increases approximation potential but
+//! reduces the parallelism available for latency hiding (paper §4, Fig 8c).
+//! [`LaunchConfig::for_items_per_thread`] is that knob.
+
+use crate::spec::DeviceSpec;
+
+/// How loop items map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// The canonical grid-stride loop: thread `tid` executes items
+    /// `tid, tid + T, tid + 2T, ...` for total thread count `T` — what
+    /// `#pragma omp target teams distribute parallel for` lowers to.
+    #[default]
+    GridStride,
+    /// Each block owns a contiguous range of `ceil(n_items / n_blocks)`
+    /// items and strides through it with its own threads. This is the
+    /// Rodinia block-per-task pattern (e.g. Leukocyte's one block per cell
+    /// iterating an in-kernel solver); dependencies between steps are legal
+    /// *within* a block but not across blocks.
+    BlockLocal,
+}
+
+/// A 1-D kernel launch configuration over `n_items` loop items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Loop trip count distributed over the grid.
+    pub n_items: usize,
+    /// Threads per block.
+    pub block_size: u32,
+    /// Number of blocks (OpenMP teams).
+    pub n_blocks: u32,
+    /// Item-to-thread mapping.
+    pub schedule: Schedule,
+}
+
+impl LaunchConfig {
+    /// A launch where every item gets its own thread (maximum parallelism).
+    pub fn one_item_per_thread(n_items: usize, block_size: u32) -> Self {
+        Self::for_items_per_thread(n_items, block_size, 1)
+    }
+
+    /// A launch sized so each thread processes about `items_per_thread`
+    /// consecutive grid-stride steps. This is the paper's
+    /// `num_teams`-derived "Items per Thread" design-space parameter.
+    pub fn for_items_per_thread(n_items: usize, block_size: u32, items_per_thread: usize) -> Self {
+        assert!(n_items > 0, "empty launch");
+        assert!(block_size > 0, "zero block size");
+        assert!(items_per_thread > 0, "zero items per thread");
+        let threads = n_items.div_ceil(items_per_thread);
+        let n_blocks = threads.div_ceil(block_size as usize).max(1) as u32;
+        LaunchConfig {
+            n_items,
+            block_size,
+            n_blocks,
+            schedule: Schedule::GridStride,
+        }
+    }
+
+    /// A block-local launch: `n_blocks` blocks each own a contiguous slice
+    /// of the item space (see [`Schedule::BlockLocal`]).
+    pub fn block_local(n_items: usize, block_size: u32, n_blocks: u32) -> Self {
+        assert!(n_items > 0, "empty launch");
+        assert!(block_size > 0 && n_blocks > 0, "empty grid");
+        LaunchConfig {
+            n_items,
+            block_size,
+            n_blocks,
+            schedule: Schedule::BlockLocal,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.n_blocks as usize * self.block_size as usize
+    }
+
+    /// Number of stride steps: the maximum number of items any thread
+    /// executes.
+    pub fn steps(&self) -> usize {
+        match self.schedule {
+            Schedule::GridStride => self.n_items.div_ceil(self.total_threads()),
+            Schedule::BlockLocal => self
+                .items_per_block()
+                .div_ceil(self.block_size as usize),
+        }
+    }
+
+    /// Items owned by each block under [`Schedule::BlockLocal`].
+    pub fn items_per_block(&self) -> usize {
+        self.n_items.div_ceil(self.n_blocks as usize)
+    }
+
+    /// Warps per block for the given device.
+    pub fn warps_per_block(&self, spec: &DeviceSpec) -> u32 {
+        self.block_size.div_ceil(spec.warp_size)
+    }
+
+    /// Global thread id for (block, warp, lane).
+    pub fn tid(&self, spec: &DeviceSpec, block: u32, warp: u32, lane: u32) -> usize {
+        self.block_size as usize * block as usize + (warp * spec.warp_size + lane) as usize
+    }
+
+    /// The item executed by (block, warp, lane) at stride `step`, or `None`
+    /// if that lane is inactive (past the end of the iteration space or
+    /// beyond `block_size`).
+    pub fn item_for(
+        &self,
+        spec: &DeviceSpec,
+        block: u32,
+        warp: u32,
+        lane: u32,
+        step: usize,
+    ) -> Option<usize> {
+        let t_in_block = warp * spec.warp_size + lane;
+        if t_in_block >= self.block_size {
+            return None;
+        }
+        match self.schedule {
+            Schedule::GridStride => {
+                let tid = self.tid(spec, block, warp, lane);
+                let item = tid + step * self.total_threads();
+                (item < self.n_items).then_some(item)
+            }
+            Schedule::BlockLocal => {
+                let ipb = self.items_per_block();
+                let local = t_in_block as usize + step * self.block_size as usize;
+                if local >= ipb {
+                    return None;
+                }
+                let item = block as usize * ipb + local;
+                (item < self.n_items).then_some(item)
+            }
+        }
+    }
+
+    /// Validate against device limits.
+    pub fn validate(&self, spec: &DeviceSpec) -> Result<(), String> {
+        if self.block_size > spec.max_threads_per_block {
+            return Err(format!(
+                "block size {} exceeds device limit {}",
+                self.block_size, spec.max_threads_per_block
+            ));
+        }
+        if self.n_blocks == 0 {
+            return Err("zero blocks".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    #[test]
+    fn ipt_launch_math() {
+        let lc = LaunchConfig::for_items_per_thread(10_000, 256, 8);
+        // ceil(10000/8) = 1250 threads -> ceil(1250/256) = 5 blocks
+        assert_eq!(lc.n_blocks, 5);
+        assert_eq!(lc.total_threads(), 1280);
+        assert_eq!(lc.steps(), 8); // ceil(10000/1280)
+    }
+
+    #[test]
+    fn one_item_per_thread_has_one_step() {
+        let lc = LaunchConfig::one_item_per_thread(4096, 128);
+        assert_eq!(lc.steps(), 1);
+        assert_eq!(lc.n_blocks, 32);
+    }
+
+    #[test]
+    fn grid_stride_partitions_items_exactly() {
+        let spec = v100();
+        let lc = LaunchConfig::for_items_per_thread(1000, 64, 4);
+        let mut seen = vec![false; lc.n_items];
+        for b in 0..lc.n_blocks {
+            for w in 0..lc.warps_per_block(&spec) {
+                for l in 0..spec.warp_size {
+                    for s in 0..lc.steps() {
+                        if let Some(i) = lc.item_for(&spec, b, w, l, s) {
+                            assert!(!seen[i], "item {i} executed twice");
+                            seen[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "some items never executed");
+    }
+
+    #[test]
+    fn lanes_beyond_block_size_inactive() {
+        let spec = v100();
+        // block_size 48 -> warp 1 has lanes 16..31 inactive
+        let lc = LaunchConfig {
+            n_items: 96,
+            block_size: 48,
+            n_blocks: 2,
+            schedule: Schedule::GridStride,
+        };
+        assert_eq!(lc.item_for(&spec, 0, 1, 15, 0), Some(47));
+        assert_eq!(lc.item_for(&spec, 0, 1, 16, 0), None);
+    }
+
+    #[test]
+    fn validate_rejects_oversized_block() {
+        let spec = v100();
+        let lc = LaunchConfig {
+            n_items: 10,
+            block_size: 2048,
+            n_blocks: 1,
+            schedule: Schedule::GridStride,
+        };
+        assert!(lc.validate(&spec).is_err());
+    }
+
+    #[test]
+    fn more_items_per_thread_means_fewer_blocks() {
+        let a = LaunchConfig::for_items_per_thread(1 << 20, 256, 1);
+        let b = LaunchConfig::for_items_per_thread(1 << 20, 256, 64);
+        assert!(b.n_blocks < a.n_blocks);
+        assert!(b.steps() > a.steps());
+    }
+}

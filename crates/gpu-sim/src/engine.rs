@@ -1,0 +1,222 @@
+//! Kernel execution bookkeeping.
+//!
+//! [`KernelExec`] is the handle a runtime (HPAC-Offload's, in `hpac-core`)
+//! drives while functionally executing a kernel. The runtime walks the launch
+//! geometry (blocks → grid-stride steps → warps), runs real Rust closures for
+//! the lanes, and charges [`CostProfile`]s here; `finish()` folds the
+//! accumulated per-warp cycles through the SM scheduling model into a
+//! [`KernelRecord`].
+
+use crate::cost::{CostProfile, WarpCycles};
+use crate::dim::LaunchConfig;
+use crate::spec::DeviceSpec;
+use crate::stats::KernelStats;
+use crate::timing::{self, TimingBreakdown};
+
+/// Errors rejecting a kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// Block size or grid shape exceeds device limits.
+    InvalidGeometry(String),
+    /// Per-block shared memory (including AC state) exceeds the device limit.
+    SharedMemExceeded { requested: usize, limit: usize },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::InvalidGeometry(msg) => write!(f, "invalid launch geometry: {msg}"),
+            LaunchError::SharedMemExceeded { requested, limit } => write!(
+                f,
+                "shared memory request of {requested} bytes exceeds per-block limit of {limit} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// The result of one kernel execution: modeled timing plus statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRecord {
+    pub timing: TimingBreakdown,
+    pub stats: KernelStats,
+}
+
+impl KernelRecord {
+    /// Kernel time in seconds (convenience accessor).
+    pub fn seconds(&self) -> f64 {
+        self.timing.seconds
+    }
+}
+
+/// In-flight kernel execution state.
+#[derive(Debug)]
+pub struct KernelExec {
+    spec: DeviceSpec,
+    launch: LaunchConfig,
+    shared_bytes_per_block: usize,
+    /// blocks[b][w] = accumulated cycles of warp w in block b.
+    blocks: Vec<Vec<WarpCycles>>,
+    stats: KernelStats,
+}
+
+impl KernelExec {
+    /// Validate the launch and create the execution record.
+    pub fn new(
+        spec: &DeviceSpec,
+        launch: &LaunchConfig,
+        shared_bytes_per_block: usize,
+    ) -> Result<Self, LaunchError> {
+        launch
+            .validate(spec)
+            .map_err(LaunchError::InvalidGeometry)?;
+        if shared_bytes_per_block > spec.shared_mem_per_block {
+            return Err(LaunchError::SharedMemExceeded {
+                requested: shared_bytes_per_block,
+                limit: spec.shared_mem_per_block,
+            });
+        }
+        let warps = launch.warps_per_block(spec) as usize;
+        Ok(KernelExec {
+            spec: *spec,
+            launch: *launch,
+            shared_bytes_per_block,
+            blocks: vec![vec![WarpCycles::default(); warps]; launch.n_blocks as usize],
+            stats: KernelStats::default(),
+        })
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn launch(&self) -> &LaunchConfig {
+        &self.launch
+    }
+
+    /// Charge one warp-step's cost to warp `warp` of block `block` and
+    /// update aggregate statistics.
+    pub fn charge(&mut self, block: u32, warp: u32, profile: &CostProfile) {
+        let params = self.spec.costs;
+        self.stats.total_issue_cycles += profile.issue_cycles(&params);
+        self.stats.total_latency_cycles += profile.latency_cycles(&params);
+        self.stats.global_txns += profile.global_txns as u64;
+        self.blocks[block as usize][warp as usize].charge(profile, &params);
+    }
+
+    /// Record the outcome of one warp step for statistics.
+    ///
+    /// `accurate`/`approx`/`skipped` are lane counts; `divergent` marks that
+    /// the warp serialized both execution paths this step.
+    pub fn note_step(&mut self, accurate: u32, approx: u32, skipped: u32, divergent: bool) {
+        self.stats.warp_steps += 1;
+        self.stats.accurate_lanes += accurate as u64;
+        self.stats.approx_lanes += approx as u64;
+        self.stats.skipped_lanes += skipped as u64;
+        if divergent {
+            self.stats.divergent_steps += 1;
+        }
+    }
+
+    /// Finish execution: run the SM scheduling model over the accumulated
+    /// per-warp cycles.
+    pub fn finish(self) -> KernelRecord {
+        let timing = timing::kernel_time(
+            &self.spec,
+            &self.launch,
+            self.shared_bytes_per_block,
+            &self.blocks,
+        );
+        KernelRecord {
+            timing,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Schedule;
+    use crate::coalesce::AccessPattern;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    fn small_launch() -> LaunchConfig {
+        LaunchConfig::one_item_per_thread(1024, 128)
+    }
+
+    #[test]
+    fn rejects_shared_mem_overflow() {
+        let err = KernelExec::new(&spec(), &small_launch(), 49 * 1024).unwrap_err();
+        assert!(matches!(err, LaunchError::SharedMemExceeded { .. }));
+        assert!(err.to_string().contains("49152"));
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let lc = LaunchConfig {
+            n_items: 10,
+            block_size: 4096,
+            n_blocks: 1,
+            schedule: Schedule::GridStride,
+        };
+        let err = KernelExec::new(&spec(), &lc, 0).unwrap_err();
+        assert!(matches!(err, LaunchError::InvalidGeometry(_)));
+    }
+
+    #[test]
+    fn charge_accumulates_per_warp() {
+        let mut k = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+        let c = CostProfile::new()
+            .flops(10.0)
+            .global_read(32, 8, AccessPattern::Coalesced);
+        k.charge(0, 0, &c);
+        k.charge(0, 0, &c);
+        k.charge(1, 3, &c);
+        let rec = k.finish();
+        assert_eq!(rec.stats.global_txns, 6); // 2 txns per charge
+        assert!(rec.stats.total_issue_cycles > 0.0);
+        assert!(rec.timing.cycles > 0.0);
+    }
+
+    #[test]
+    fn note_step_updates_stats() {
+        let mut k = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+        k.note_step(20, 12, 0, true);
+        k.note_step(32, 0, 0, false);
+        let rec = k.finish();
+        assert_eq!(rec.stats.warp_steps, 2);
+        assert_eq!(rec.stats.divergent_steps, 1);
+        assert_eq!(rec.stats.accurate_lanes, 52);
+        assert_eq!(rec.stats.approx_lanes, 12);
+        assert!((rec.stats.approx_fraction() - 12.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_kernel_still_times() {
+        let k = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+        let rec = k.finish();
+        assert!(rec.seconds() > 0.0); // launch overhead
+        assert_eq!(rec.stats.warp_steps, 0);
+    }
+
+    #[test]
+    fn divergent_charge_costs_more() {
+        let acc = CostProfile::new().flops(100.0);
+        let apx = CostProfile::new().flops(10.0);
+
+        let mut k1 = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+        k1.charge(0, 0, &acc);
+        let uniform = k1.finish();
+
+        let mut k2 = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+        k2.charge(0, 0, &acc.add(&apx)); // both paths serialized
+        let divergent = k2.finish();
+
+        assert!(divergent.stats.total_issue_cycles > uniform.stats.total_issue_cycles);
+    }
+}

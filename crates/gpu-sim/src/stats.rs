@@ -1,0 +1,114 @@
+//! Execution statistics gathered during a kernel run.
+//!
+//! These feed the paper's analyses: percent of calculations approximated
+//! (Fig 8c's color scale), divergence counts (Fig 11c's motivation), and
+//! the cycle breakdown used to explain where speedup comes from.
+
+/// Counters accumulated over one kernel execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Warp-steps executed (a warp processing one grid-stride step).
+    pub warp_steps: u64,
+    /// Warp-steps where lanes took *both* execution paths (divergent).
+    pub divergent_steps: u64,
+    /// Lane-level region executions that took the approximate path.
+    pub approx_lanes: u64,
+    /// Lane-level region executions that took the accurate path.
+    pub accurate_lanes: u64,
+    /// Lane-level region executions skipped entirely (perforation).
+    pub skipped_lanes: u64,
+    /// Total 128-byte global-memory transactions charged.
+    pub global_txns: u64,
+    /// Total issue cycles across all warps (before scheduling).
+    pub total_issue_cycles: f64,
+    /// Total latency cycles across all warps (before hiding).
+    pub total_latency_cycles: f64,
+}
+
+impl KernelStats {
+    /// Fraction of region executions that were approximated (0..=1).
+    /// Skipped (perforated) lanes count as approximated, matching the
+    /// paper's "percent of total price calculations that are approximated".
+    pub fn approx_fraction(&self) -> f64 {
+        let total = self.approx_lanes + self.accurate_lanes + self.skipped_lanes;
+        if total == 0 {
+            0.0
+        } else {
+            (self.approx_lanes + self.skipped_lanes) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of warp-steps that diverged.
+    pub fn divergence_fraction(&self) -> f64 {
+        if self.warp_steps == 0 {
+            0.0
+        } else {
+            self.divergent_steps as f64 / self.warp_steps as f64
+        }
+    }
+
+    /// Merge another kernel's stats into this one (multi-kernel apps).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.warp_steps += other.warp_steps;
+        self.divergent_steps += other.divergent_steps;
+        self.approx_lanes += other.approx_lanes;
+        self.accurate_lanes += other.accurate_lanes;
+        self.skipped_lanes += other.skipped_lanes;
+        self.global_txns += other.global_txns;
+        self.total_issue_cycles += other.total_issue_cycles;
+        self.total_latency_cycles += other.total_latency_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_fraction_counts_skips() {
+        let s = KernelStats {
+            approx_lanes: 30,
+            accurate_lanes: 50,
+            skipped_lanes: 20,
+            ..Default::default()
+        };
+        assert!((s.approx_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = KernelStats::default();
+        assert_eq!(s.approx_fraction(), 0.0);
+        assert_eq!(s.divergence_fraction(), 0.0);
+    }
+
+    #[test]
+    fn divergence_fraction() {
+        let s = KernelStats {
+            warp_steps: 100,
+            divergent_steps: 25,
+            ..Default::default()
+        };
+        assert!((s.divergence_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = KernelStats {
+            warp_steps: 10,
+            approx_lanes: 5,
+            total_issue_cycles: 100.0,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            warp_steps: 7,
+            approx_lanes: 2,
+            total_issue_cycles: 50.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.warp_steps, 17);
+        assert_eq!(a.approx_lanes, 7);
+        assert!((a.total_issue_cycles - 150.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sweep execution: baseline selection and the parallel configuration sweep.
+//!
+//! Speedup follows the paper's definition: the baseline is the
+//! *non-approximated* application at its best launch configuration, and
+//! every approximated configuration is compared against that one number.
+//! Blackscholes uses kernel-only timing (§4.1); everything else uses
+//! end-to-end modeled time including transfers.
+
+use crate::db::Row;
+use crate::space::{self, Scale, SweepConfig};
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::{AppResult, Benchmark, LaunchParams};
+use rayon::prelude::*;
+
+/// The chosen baseline: launch shape, result, and its timing-basis seconds.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    pub lp: LaunchParams,
+    pub result: AppResult,
+    pub seconds: f64,
+}
+
+/// Pick the best non-approximated launch over the benchmark's baseline
+/// items-per-thread candidates.
+pub fn select_baseline(bench: &dyn Benchmark, spec: &DeviceSpec) -> Baseline {
+    let kernel_only = bench.kernel_only_timing();
+    let block = space::block_size_for(bench);
+    space::baseline_ipts(bench)
+        .into_iter()
+        .map(|ipt| {
+            let lp = LaunchParams::new(ipt, block);
+            let result = bench
+                .run(spec, None, &lp)
+                .expect("accurate baseline must run");
+            let seconds = result.timing_basis_seconds(kernel_only);
+            Baseline {
+                lp,
+                result,
+                seconds,
+            }
+        })
+        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+        .expect("at least one baseline candidate")
+}
+
+/// A sweep's outcome: result rows plus configurations that were rejected at
+/// launch (e.g. AC state exceeding shared memory) with their reasons.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    pub rows: Vec<Row>,
+    pub rejected: Vec<(String, String)>,
+    pub baseline: Baseline,
+}
+
+/// Execute one configuration against a prepared baseline.
+pub fn run_config(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    baseline: &Baseline,
+    cfg: &SweepConfig,
+) -> Result<Row, (String, String)> {
+    let kernel_only = bench.kernel_only_timing();
+    match bench.run(spec, Some(&cfg.region), &cfg.lp) {
+        Ok(res) => {
+            let err = res.qoi.error_vs(&baseline.result.qoi);
+            let seconds = res.timing_basis_seconds(kernel_only);
+            Ok(Row {
+                benchmark: bench.name().to_string(),
+                device: spec.name.to_string(),
+                technique: cfg.region.technique_name().to_string(),
+                config: cfg.label.clone(),
+                items_per_thread: cfg.lp.items_per_thread,
+                speedup: baseline.seconds / seconds,
+                error_pct: err * 100.0,
+                approx_fraction: res.stats.approx_fraction(),
+                divergent_fraction: res.stats.divergence_fraction(),
+                kernel_seconds: res.kernel_seconds,
+                end_to_end_seconds: res.end_to_end_seconds(),
+                iterations: res.iterations,
+            })
+        }
+        Err(e) => Err((cfg.label.clone(), e.to_string())),
+    }
+}
+
+/// Run a benchmark's full sweep plan on one device, in parallel across
+/// configurations.
+pub fn run_sweep(bench: &dyn Benchmark, spec: &DeviceSpec, scale: Scale) -> SweepOutcome {
+    let baseline = select_baseline(bench, spec);
+    let plan = space::plan(bench, spec, scale);
+    let results: Vec<Result<Row, (String, String)>> = plan
+        .par_iter()
+        .map(|cfg| run_config(bench, spec, &baseline, cfg))
+        .collect();
+
+    let mut rows = Vec::with_capacity(results.len());
+    let mut rejected = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(rej) => rejected.push(rej),
+        }
+    }
+    SweepOutcome {
+        rows,
+        rejected,
+        baseline,
+    }
+}
+
+/// Run specific configurations (used by figure generators with bespoke
+/// grids, e.g. Fig 8c's extended items-per-thread axis).
+pub fn run_configs(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    configs: &[SweepConfig],
+) -> SweepOutcome {
+    let baseline = select_baseline(bench, spec);
+    let results: Vec<Result<Row, (String, String)>> = configs
+        .par_iter()
+        .map(|cfg| run_config(bench, spec, &baseline, cfg))
+        .collect();
+    let mut rows = Vec::new();
+    let mut rejected = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(rej) => rejected.push(rej),
+        }
+    }
+    SweepOutcome {
+        rows,
+        rejected,
+        baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpac_apps::blackscholes::Blackscholes;
+    use hpac_apps::common::LaunchParams;
+    use hpac_core::region::ApproxRegion;
+
+    fn tiny_bs() -> Blackscholes {
+        Blackscholes {
+            n_options: 2048,
+            distinct: 16,
+            run_len: 16,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_is_accurate_and_timed() {
+        let bench = tiny_bs();
+        let spec = DeviceSpec::v100();
+        let b = select_baseline(&bench, &spec);
+        assert!(b.seconds > 0.0);
+        assert_eq!(b.result.stats.approx_fraction(), 0.0);
+    }
+
+    #[test]
+    fn run_config_computes_speedup_and_error() {
+        let bench = tiny_bs();
+        let spec = DeviceSpec::v100();
+        let baseline = select_baseline(&bench, &spec);
+        let cfg = SweepConfig {
+            region: ApproxRegion::memo_out(2, 32, 0.9),
+            lp: LaunchParams::new(16, 256),
+            label: "test".into(),
+        };
+        let row = run_config(&bench, &spec, &baseline, &cfg).unwrap();
+        assert!(row.speedup > 0.0);
+        assert!(row.error_pct >= 0.0);
+        assert_eq!(row.technique, "TAF");
+        assert_eq!(row.device, "V100");
+    }
+
+    #[test]
+    fn rejected_configs_are_reported() {
+        let bench = tiny_bs();
+        let spec = DeviceSpec::v100();
+        let baseline = select_baseline(&bench, &spec);
+        // 512-entry private tables cannot fit shared memory.
+        let cfg = SweepConfig {
+            region: ApproxRegion::memo_in(512, 0.5),
+            lp: LaunchParams::new(8, 1024),
+            label: "oversized".into(),
+        };
+        let err = run_config(&bench, &spec, &baseline, &cfg).unwrap_err();
+        assert_eq!(err.0, "oversized");
+        assert!(err.1.contains("shared memory"), "reason: {}", err.1);
+    }
+}

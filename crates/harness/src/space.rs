@@ -1,0 +1,296 @@
+//! The design-space parameter grids of the paper's Table 2.
+//!
+//! `Scale::Full` reproduces Table 2 exactly (the paper explored 57,288
+//! configurations across benchmarks and platforms — budget hours, not
+//! minutes). `Scale::Quick` subsamples every axis so a full sweep over all
+//! benchmarks and both devices finishes on a laptop; the pruned grids keep
+//! the extreme and middle values of each axis so the clouds retain their
+//! shape.
+
+use gpu_sim::{DeviceSpec, Vendor};
+use hpac_apps::common::{Benchmark, LaunchParams};
+use hpac_core::params::PerfoKind;
+use hpac_core::region::ApproxRegion;
+use hpac_core::HierarchyLevel;
+
+/// Sweep resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Pruned grids for CI/laptop runs.
+    Quick,
+    /// The paper's Table 2 grids.
+    Full,
+}
+
+/// One point of the design space: a fully parameterized region plus launch
+/// shape.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    pub region: ApproxRegion,
+    pub lp: LaunchParams,
+    /// Human-readable parameter description for the results database.
+    pub label: String,
+}
+
+fn taf_grid(scale: Scale) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    match scale {
+        Scale::Full => (
+            vec![1, 2, 3, 4, 5],
+            vec![2, 4, 8, 16, 32, 64, 128, 256, 512],
+            vec![0.3, 0.6, 0.9, 1.2, 1.5, 3.0, 5.0, 20.0],
+        ),
+        Scale::Quick => (
+            vec![1, 3, 5],
+            vec![4, 32, 512],
+            vec![0.3, 0.9, 1.5, 3.0, 20.0],
+        ),
+    }
+}
+
+fn iact_grid(scale: Scale, device: &DeviceSpec) -> (Vec<u32>, Vec<usize>, Vec<f64>) {
+    // "Only the AMD platform uses 64 tables per warp" (Table 2): 64 tables
+    // per warp requires a 64-lane wavefront.
+    let mut tperwarp = match scale {
+        Scale::Full => vec![1, 2, 16, 32],
+        Scale::Quick => vec![1, 16, 32],
+    };
+    if device.vendor == Vendor::Amd {
+        tperwarp.push(64);
+    }
+    let (tsize, thresh) = match scale {
+        Scale::Full => (
+            vec![1, 2, 4, 8],
+            vec![0.1, 0.3, 0.5, 0.7, 0.9, 3.0, 5.0, 20.0],
+        ),
+        Scale::Quick => (vec![2, 8], vec![0.1, 0.5, 0.9, 5.0]),
+    };
+    (tperwarp, tsize, thresh)
+}
+
+fn perfo_rates(scale: Scale) -> (Vec<u32>, Vec<f64>) {
+    match scale {
+        Scale::Full => (
+            vec![2, 4, 8, 16, 32, 64],
+            (1..=9).map(|p| p as f64 / 10.0).collect(),
+        ),
+        Scale::Quick => (vec![2, 8, 64], vec![0.1, 0.5, 0.9]),
+    }
+}
+
+/// Items-per-thread axis (Table 2's "Items per Thread 8,16,...,512"; for
+/// perforation the axis starts at 1).
+pub fn items_per_thread(scale: Scale, include_one: bool) -> Vec<usize> {
+    let mut v = match scale {
+        Scale::Full => vec![8, 16, 32, 64, 128, 256, 512],
+        Scale::Quick => vec![8, 64, 512],
+    };
+    if include_one {
+        v.insert(0, 1);
+    }
+    v
+}
+
+/// The extended options-per-block axis of Fig 8c.
+pub fn fig8c_items_per_thread(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![1, 4, 16, 64, 256, 1024, 2048, 4096, 8192, 16384],
+        Scale::Quick => vec![1, 16, 64, 256, 1024, 4096, 16384],
+    }
+}
+
+fn hierarchy_levels(bench: &dyn Benchmark) -> Vec<HierarchyLevel> {
+    if bench.block_level_only() {
+        vec![HierarchyLevel::Block]
+    } else {
+        vec![HierarchyLevel::Thread, HierarchyLevel::Warp]
+    }
+}
+
+pub fn block_size_for(bench: &dyn Benchmark) -> u32 {
+    // "We use the one value of num_threads that yields the best performance
+    // in the non-approximated benchmark" (§4, footnote 4). LULESH and
+    // LavaMD use small blocks so the items-per-thread axis stays
+    // meaningful at proxy problem sizes.
+    match bench.name() {
+        "Binomial Options" => 128,
+        "LULESH" => 64,
+        _ => 256,
+    }
+}
+
+/// TAF configurations for a benchmark on a device.
+pub fn taf_configs(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
+    let (hsizes, psizes, threshes) = taf_grid(scale);
+    let levels = hierarchy_levels(bench);
+    let ipts = items_per_thread(scale, false);
+    let bs = block_size_for(bench);
+    let mut out = Vec::new();
+    for &h in &hsizes {
+        for &p in &psizes {
+            for &t in &threshes {
+                for &lvl in &levels {
+                    for &ipt in &ipts {
+                        out.push(SweepConfig {
+                            region: ApproxRegion::memo_out(h, p, t).level(lvl),
+                            lp: LaunchParams::new(ipt, bs),
+                            label: format!("h={h} p={p} thr={t} lvl={lvl} ipt={ipt}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// iACT configurations for a benchmark on a device.
+pub fn iact_configs(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
+    let (tperwarps, tsizes, threshes) = iact_grid(scale, device);
+    let levels = hierarchy_levels(bench);
+    let ipts = items_per_thread(scale, false);
+    let bs = block_size_for(bench);
+    let mut out = Vec::new();
+    for &tpw in &tperwarps {
+        if tpw > device.warp_size {
+            continue;
+        }
+        for &ts in &tsizes {
+            for &t in &threshes {
+                for &lvl in &levels {
+                    for &ipt in &ipts {
+                        out.push(SweepConfig {
+                            region: ApproxRegion::memo_in(ts, t)
+                                .tables_per_warp(tpw)
+                                .level(lvl),
+                            lp: LaunchParams::new(ipt, bs),
+                            label: format!("ts={ts} thr={t} tpw={tpw} lvl={lvl} ipt={ipt}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Perforation configurations (herded small/large + ini/fini bounds).
+pub fn perfo_configs(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
+    let (skips, fractions) = perfo_rates(scale);
+    let ipts = items_per_thread(scale, true);
+    let bs = block_size_for(bench);
+    let mut out = Vec::new();
+    for &m in &skips {
+        for kind in [PerfoKind::Small { m }, PerfoKind::Large { m }] {
+            for &ipt in &ipts {
+                let region = ApproxRegion::perfo(kind);
+                out.push(SweepConfig {
+                    region,
+                    lp: LaunchParams::new(ipt, bs),
+                    label: format!("{} ipt={ipt}", perfo_label(kind)),
+                });
+            }
+        }
+    }
+    for &f in &fractions {
+        for kind in [PerfoKind::Ini { fraction: f }, PerfoKind::Fini { fraction: f }] {
+            let region = ApproxRegion::perfo(kind);
+            out.push(SweepConfig {
+                region,
+                lp: LaunchParams::new(1, bs),
+                label: format!("{} ipt=1", perfo_label(kind)),
+            });
+        }
+    }
+    out
+}
+
+pub fn perfo_label(kind: PerfoKind) -> String {
+    match kind {
+        PerfoKind::Small { m } => format!("small:{m}"),
+        PerfoKind::Large { m } => format!("large:{m}"),
+        PerfoKind::Ini { fraction } => format!("ini:{:.0}%", fraction * 100.0),
+        PerfoKind::Fini { fraction } => format!("fini:{:.0}%", fraction * 100.0),
+    }
+}
+
+/// The full sweep plan for one benchmark on one device (Table 2's Cartesian
+/// product, per technique).
+pub fn plan(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
+    let mut all = taf_configs(bench, device, scale);
+    all.extend(iact_configs(bench, device, scale));
+    all.extend(perfo_configs(bench, device, scale));
+    all
+}
+
+/// Items-per-thread candidates used to pick the non-approximated baseline.
+pub fn baseline_ipts(bench: &dyn Benchmark) -> Vec<usize> {
+    if bench.block_level_only() {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 8, 32]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpac_apps::blackscholes::Blackscholes;
+    use hpac_apps::binomial::BinomialOptions;
+
+    #[test]
+    fn quick_grids_are_small() {
+        let bench = Blackscholes::default();
+        let v100 = DeviceSpec::v100();
+        let plan = plan(&bench, &v100, Scale::Quick);
+        assert!(plan.len() < 700, "quick plan too big: {}", plan.len());
+        assert!(plan.len() > 100);
+    }
+
+    #[test]
+    fn full_taf_grid_matches_table2() {
+        let bench = Blackscholes::default();
+        let v100 = DeviceSpec::v100();
+        let taf = taf_configs(&bench, &v100, Scale::Full);
+        // 5 hsize * 9 psize * 8 thresh * 2 levels * 7 ipt
+        assert_eq!(taf.len(), 5 * 9 * 8 * 2 * 7);
+    }
+
+    #[test]
+    fn amd_gets_64_tables_per_warp() {
+        let bench = Blackscholes::default();
+        let amd = DeviceSpec::mi250x();
+        let v100 = DeviceSpec::v100();
+        let has64 = |cfgs: &[SweepConfig]| cfgs.iter().any(|c| c.label.contains("tpw=64"));
+        assert!(has64(&iact_configs(&bench, &amd, Scale::Full)));
+        assert!(!has64(&iact_configs(&bench, &v100, Scale::Full)));
+    }
+
+    #[test]
+    fn block_only_benchmarks_use_block_level() {
+        let bench = BinomialOptions::default();
+        let v100 = DeviceSpec::v100();
+        for c in taf_configs(&bench, &v100, Scale::Quick) {
+            assert_eq!(c.region.level, HierarchyLevel::Block);
+        }
+    }
+
+    #[test]
+    fn all_planned_regions_validate() {
+        let bench = Blackscholes::default();
+        for device in DeviceSpec::evaluation_platforms() {
+            for c in plan(&bench, &device, Scale::Quick) {
+                c.region.validate().unwrap_or_else(|e| {
+                    panic!("invalid planned config {}: {e}", c.label);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn perfo_includes_ipt_one() {
+        let bench = Blackscholes::default();
+        let v100 = DeviceSpec::v100();
+        let cfgs = perfo_configs(&bench, &v100, Scale::Quick);
+        assert!(cfgs.iter().any(|c| c.lp.items_per_thread == 1));
+    }
+}

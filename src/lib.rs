@@ -1,0 +1,17 @@
+//! # hpac-offload — umbrella crate
+//!
+//! Re-exports the whole HPAC-Offload reproduction stack:
+//!
+//! * [`gpu_sim`] — the GPU execution-model simulator substrate,
+//! * [`core`] — the HPAC-Offload programming model and runtime (TAF, iACT,
+//!   perforation, hierarchical decision-making),
+//! * [`apps`] — the seven evaluated HPC proxy applications,
+//! * [`harness`] — the design-space-exploration harness and figure
+//!   generators.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use gpu_sim;
+pub use hpac_apps as apps;
+pub use hpac_core as core;
+pub use hpac_harness as harness;
