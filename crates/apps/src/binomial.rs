@@ -77,14 +77,7 @@ impl BinomialOptions {
 }
 
 /// Price an American put on an `n`-step Cox–Ross–Rubinstein lattice.
-pub fn price_american_put(
-    spot: f64,
-    strike: f64,
-    rate: f64,
-    vol: f64,
-    t: f64,
-    n: usize,
-) -> f64 {
+pub fn price_american_put(spot: f64, strike: f64, rate: f64, vol: f64, t: f64, n: usize) -> f64 {
     let dt = t / n as f64;
     let u = (vol * dt.sqrt()).exp();
     let d = 1.0 / u;

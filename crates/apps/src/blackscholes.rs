@@ -54,11 +54,11 @@ impl Blackscholes {
                 // regime): prices are bounded away from zero so MAPE stays
                 // meaningful.
                 [
-                    rng.gen_range(40.0..60.0),   // spot
-                    rng.gen_range(36.0..66.0),   // strike
-                    rng.gen_range(0.01..0.05),   // risk-free rate
-                    rng.gen_range(0.15..0.60),   // volatility
-                    rng.gen_range(0.25..2.00),   // years to expiry
+                    rng.gen_range(40.0..60.0), // spot
+                    rng.gen_range(36.0..66.0), // strike
+                    rng.gen_range(0.01..0.05), // risk-free rate
+                    rng.gen_range(0.15..0.60), // volatility
+                    rng.gen_range(0.25..2.00), // years to expiry
                 ]
             })
             .collect();
@@ -232,9 +232,7 @@ mod tests {
     #[test]
     fn accurate_run_prices_everything() {
         let cfg = small();
-        let r = cfg
-            .run(&spec(), None, &LaunchParams::new(1, 128))
-            .unwrap();
+        let r = cfg.run(&spec(), None, &LaunchParams::new(1, 128)).unwrap();
         match &r.qoi {
             QoI::Values(p) => {
                 assert_eq!(p.len(), cfg.n_options);

@@ -109,8 +109,7 @@ impl RegionBody for DistanceBody<'_> {
     fn inputs(&self, item: usize, buf: &mut [f64]) {
         let (c, p) = (item / self.n, item % self.n);
         debug_assert!(c < self.k);
-        buf[..self.dims]
-            .copy_from_slice(&self.points[p * self.dims..(p + 1) * self.dims]);
+        buf[..self.dims].copy_from_slice(&self.points[p * self.dims..(p + 1) * self.dims]);
         // Distinguish clusters in the input signature so shared tables
         // cannot hit across clusters.
         buf[self.dims] = 100.0 * c as f64;
@@ -217,7 +216,11 @@ impl Benchmark for KMeans {
             // speedup track convergence speedup.
             acc.transfer(spec, (self.n_points * 4) as u64, Direction::DeviceToHost);
             acc.host(self.n_points as f64 * self.dims as f64 * 8.0 / 2.0e9 + 20e-6);
-            acc.transfer(spec, (self.k * self.dims * 8) as u64, Direction::HostToDevice);
+            acc.transfer(
+                spec,
+                (self.k * self.dims * 8) as u64,
+                Direction::HostToDevice,
+            );
 
             let mut sums = vec![0.0; self.k * self.dims];
             let mut counts = vec![0usize; self.k];
@@ -270,7 +273,9 @@ mod tests {
     fn accurate_clustering_recovers_blobs() {
         let cfg = small();
         let r = cfg.run(&spec(), None, &LaunchParams::new(8, 128)).unwrap();
-        let QoI::Labels(labels) = &r.qoi else { panic!() };
+        let QoI::Labels(labels) = &r.qoi else {
+            panic!()
+        };
         // Points are blob-ordered; most of each blob should share a label.
         let per_blob = cfg.n_points / cfg.k;
         let mut agree = 0usize;

@@ -164,9 +164,7 @@ impl RegionBody for ImgvfBody<'_> {
         let m = self.buf[parity][idx];
         let avg = self.neighbor_avg(cell, pixel, parity);
         let i = self.image[idx];
-        out[0] = (1.0 - self.cfg.omega) * m
-            + self.cfg.omega * avg
-            + self.cfg.kappa * (i - m);
+        out[0] = (1.0 - self.cfg.omega) * m + self.cfg.omega * avg + self.cfg.kappa * (i - m);
     }
 
     fn store(&mut self, item: usize, out: &[f64]) {

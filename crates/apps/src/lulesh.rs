@@ -293,7 +293,11 @@ impl RegionBody for HgControlBody<'_> {
         CostProfile::new()
             .flops(300.0)
             .sfu(2.0)
-            .global_read(lanes, 8 * 3 * 8, AccessPattern::Strided { stride_bytes: 96 })
+            .global_read(
+                lanes,
+                8 * 3 * 8,
+                AccessPattern::Strided { stride_bytes: 96 },
+            )
             .global_read(lanes, 24, AccessPattern::Coalesced)
             .global_write(lanes, 24, AccessPattern::Coalesced)
     }
@@ -344,7 +348,11 @@ impl RegionBody for HgForceBody<'_> {
         // vectors x 3 directions of dot products).
         CostProfile::new()
             .flops(500.0)
-            .global_read(lanes, 8 * 3 * 8, AccessPattern::Strided { stride_bytes: 96 })
+            .global_read(
+                lanes,
+                8 * 3 * 8,
+                AccessPattern::Strided { stride_bytes: 96 },
+            )
             .global_read(lanes, 24, AccessPattern::Coalesced)
             .global_write(lanes, 24, AccessPattern::Coalesced)
     }

@@ -118,7 +118,9 @@ impl MiniFe {
     /// Seeded right-hand side.
     pub fn rhs(&self) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.n_rows()).map(|_| rng.gen_range(0.0..1.0)).collect()
+        (0..self.n_rows())
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect()
     }
 }
 
@@ -153,9 +155,11 @@ impl RegionBody for SpmvBody<'_> {
         // Gathered x-vector reads are the classic SpMV bottleneck.
         CostProfile::new()
             .flops(2.0 * self.avg_nnz)
-            .global_read(lanes, (self.avg_nnz * 12.0) as u32, AccessPattern::Strided {
-                stride_bytes: 64,
-            })
+            .global_read(
+                lanes,
+                (self.avg_nnz * 12.0) as u32,
+                AccessPattern::Strided { stride_bytes: 64 },
+            )
             .global_write(lanes, 8, AccessPattern::Coalesced)
     }
 

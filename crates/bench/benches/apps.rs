@@ -33,7 +33,9 @@ fn bench_app(c: &mut Criterion, name: &str, bench: &dyn Benchmark, block_level: 
     group.bench_function("taf", |b| {
         b.iter(|| black_box(bench.run(&spec, Some(&taf), &lp).unwrap()))
     });
-    let iact = ApproxRegion::memo_in(4, 0.5).tables_per_warp(16).level(level);
+    let iact = ApproxRegion::memo_in(4, 0.5)
+        .tables_per_warp(16)
+        .level(level);
     if bench.name() != "MiniFE" {
         group.bench_function("iact", |b| {
             b.iter(|| black_box(bench.run(&spec, Some(&iact), &lp).unwrap()))

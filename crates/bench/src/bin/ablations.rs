@@ -43,8 +43,8 @@ fn main() {
     ]);
     {
         use gpu_sim::LaunchConfig;
-        use hpac_core::runtime::{approx_parallel_for_opts, ExecOptions, RegionBody};
         use gpu_sim::{AccessPattern, CostProfile};
+        use hpac_core::runtime::{approx_parallel_for_opts, ExecOptions, RegionBody};
         struct Body<'a> {
             opts: &'a [f64],
             out: Vec<f64>,
@@ -101,7 +101,9 @@ fn main() {
     );
     for (name, herded) in [("herded", true), ("naive", false)] {
         let region = ApproxRegion::perfo(PerfoKind::Large { m: 8 }).herded(herded);
-        let res = lu.run(&v100, Some(&region), &LaunchParams::new(4, 64)).unwrap();
+        let res = lu
+            .run(&v100, Some(&region), &LaunchParams::new(4, 64))
+            .unwrap();
         fig2.push_row(vec![
             name.into(),
             f(lu_base.seconds / res.end_to_end_seconds()),

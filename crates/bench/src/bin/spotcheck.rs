@@ -8,15 +8,39 @@ fn main() {
     let bs = Blackscholes::default();
     let base = bs.run(&amd, None, &LaunchParams::new(1, 256)).unwrap();
     for ipt in [8usize, 64] {
-        let r = bs.run(&amd, Some(&ApproxRegion::memo_out(2, 64, 1.5)), &LaunchParams::new(ipt, 256)).unwrap();
-        println!("BS taf ipt={ipt}: speedup={:.2} err={:.3}% af={:.2}",
-            base.kernel_seconds / r.kernel_seconds, r.qoi.error_vs(&base.qoi)*100.0, r.stats.approx_fraction());
+        let r = bs
+            .run(
+                &amd,
+                Some(&ApproxRegion::memo_out(2, 64, 1.5)),
+                &LaunchParams::new(ipt, 256),
+            )
+            .unwrap();
+        println!(
+            "BS taf ipt={ipt}: speedup={:.2} err={:.3}% af={:.2}",
+            base.kernel_seconds / r.kernel_seconds,
+            r.qoi.error_vs(&base.qoi) * 100.0,
+            r.stats.approx_fraction()
+        );
     }
     let lava = LavaMd::default();
     let lbase = lava.run(&amd, None, &LaunchParams::new(1, 256)).unwrap();
-    for (h,p,t,ipt) in [(2usize,32usize,0.9,8usize),(1,512,1.5,8),(2,64,1.5,64)] {
-        let r = lava.run(&amd, Some(&ApproxRegion::memo_out(h,p,t)), &LaunchParams::new(ipt, 256)).unwrap();
-        println!("LavaMD taf h{h} p{p} t{t} ipt{ipt}: speedup={:.2} err={:.3}% af={:.2}",
-            lbase.end_to_end_seconds() / r.end_to_end_seconds(), r.qoi.error_vs(&lbase.qoi)*100.0, r.stats.approx_fraction());
+    for (h, p, t, ipt) in [
+        (2usize, 32usize, 0.9, 8usize),
+        (1, 512, 1.5, 8),
+        (2, 64, 1.5, 64),
+    ] {
+        let r = lava
+            .run(
+                &amd,
+                Some(&ApproxRegion::memo_out(h, p, t)),
+                &LaunchParams::new(ipt, 256),
+            )
+            .unwrap();
+        println!(
+            "LavaMD taf h{h} p{p} t{t} ipt{ipt}: speedup={:.2} err={:.3}% af={:.2}",
+            lbase.end_to_end_seconds() / r.end_to_end_seconds(),
+            r.qoi.error_vs(&lbase.qoi) * 100.0,
+            r.stats.approx_fraction()
+        );
     }
 }

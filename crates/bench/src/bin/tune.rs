@@ -1,0 +1,140 @@
+//! Quality-constrained autotuning across the full evaluation matrix: all
+//! seven benchmarks × both device specs, via `hpac-tuner`.
+//!
+//! Run with: `cargo run --release -p hpac-bench --bin tune`
+//!
+//! For each (benchmark, device) the tuner answers "fastest configuration
+//! with ≤ 5% error" while evaluating well under 10% of the benchmark's full
+//! Table 2 space, and persists the answer (plan + Pareto frontier) to
+//! `target/tuner-cache/`. A second invocation is served entirely from the
+//! cache — the `source` column flips from `search` to `cache`.
+//!
+//! Flags: `--bound <pct>` changes the error bound; `--fresh` clears the
+//! cache first.
+
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::Benchmark;
+use hpac_apps::{
+    binomial::BinomialOptions, blackscholes::Blackscholes, kmeans::KMeans, lavamd::LavaMd,
+    leukocyte::Leukocyte, lulesh::Lulesh, minife::MiniFe,
+};
+use hpac_core::metrics::geomean;
+use hpac_tuner::{QualityBound, Tuner, TuningCache};
+
+/// Laptop-scale configurations of all seven applications (Table 1 order) —
+/// the same sizes the Criterion benches exercise.
+fn suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Lulesh {
+            edge: 12,
+            steps: 8,
+            dt: 1e-4,
+            ..Lulesh::default()
+        }),
+        Box::new(Leukocyte {
+            n_cells: 8,
+            grid: 16,
+            iterations: 24,
+            ..Leukocyte::default()
+        }),
+        Box::new(BinomialOptions {
+            n_options: 1024,
+            tree_steps: 96,
+            ..BinomialOptions::default()
+        }),
+        Box::new(MiniFe {
+            nx: 10,
+            max_iters: 25,
+            ..MiniFe::default()
+        }),
+        Box::new(Blackscholes::default()),
+        Box::new(LavaMd {
+            boxes_per_dim: 4,
+            par_per_box: 16,
+            ..LavaMd::default()
+        }),
+        Box::new(KMeans {
+            n_points: 2048,
+            max_iters: 40,
+            ..KMeans::default()
+        }),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bound_pct = args
+        .iter()
+        .position(|a| a == "--bound")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(5.0);
+    let cache = TuningCache::new(TuningCache::default_dir());
+    if args.iter().any(|a| a == "--fresh") {
+        if let Err(e) = cache.clear() {
+            eprintln!("warning: could not clear cache: {e}");
+        }
+    }
+    let tuner = Tuner::new().with_cache(cache.clone());
+    let bound = QualityBound::percent(bound_pct);
+
+    println!("hpac-tuner: fastest configuration with <= {bound_pct}% error");
+    println!("cache: {}\n", cache.dir().display());
+
+    let mut cache_hits = 0usize;
+    let mut searches = 0usize;
+    for device in DeviceSpec::evaluation_platforms() {
+        println!("== {} ({}) ==", device.name, device.vendor);
+        println!(
+            "{:<16} {:<9} {:<34} {:>8} {:>7} {:>6} {:>7}  {}",
+            "benchmark", "technique", "config", "speedup", "err%", "evals", "%full", "source"
+        );
+        let mut speedups = Vec::new();
+        for bench in suite() {
+            let plan = tuner.tune(bench.as_ref(), &device, bound);
+            assert!(
+                plan.respects_bound(),
+                "{} on {} violates the bound",
+                plan.benchmark,
+                plan.device
+            );
+            assert!(
+                plan.from_cache || plan.budget_fraction_used() < 0.10,
+                "{} on {} overspent: {} of {} configs",
+                plan.benchmark,
+                plan.device,
+                plan.evaluations,
+                plan.full_space
+            );
+            if plan.from_cache {
+                cache_hits += 1;
+            } else {
+                searches += 1;
+            }
+            speedups.push(plan.predicted_speedup);
+            println!(
+                "{:<16} {:<9} {:<34} {:>7.2}x {:>7.3} {:>6} {:>6.1}%  {}",
+                plan.benchmark,
+                plan.technique,
+                plan.config,
+                plan.predicted_speedup,
+                plan.measured_error_pct,
+                plan.evaluations,
+                plan.budget_fraction_used() * 100.0,
+                if plan.from_cache { "cache" } else { "search" },
+            );
+        }
+        println!(
+            "geomean speedup under the bound: {:.2}x\n",
+            geomean(&speedups)
+        );
+    }
+    println!(
+        "{searches} tuned by search, {cache_hits} served from the persistent cache{}",
+        if cache_hits == 0 {
+            " (run again to see every row hit the cache)"
+        } else {
+            ""
+        }
+    );
+}

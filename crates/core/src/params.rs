@@ -38,7 +38,10 @@ impl TafParams {
             return Err("TAF prediction size must be >= 1".into());
         }
         if !self.threshold.is_finite() || self.threshold < 0.0 {
-            return Err(format!("TAF threshold must be finite and >= 0, got {}", self.threshold));
+            return Err(format!(
+                "TAF threshold must be finite and >= 0, got {}",
+                self.threshold
+            ));
         }
         Ok(())
     }
@@ -218,17 +221,36 @@ mod tests {
 
     #[test]
     fn perfo_validation() {
-        assert!(PerfoParams::new(PerfoKind::Small { m: 4 }).validate().is_ok());
-        assert!(PerfoParams::new(PerfoKind::Small { m: 1 }).validate().is_err());
-        assert!(PerfoParams::new(PerfoKind::Ini { fraction: 0.3 }).validate().is_ok());
-        assert!(PerfoParams::new(PerfoKind::Ini { fraction: 1.0 }).validate().is_err());
-        assert!(PerfoParams::new(PerfoKind::Fini { fraction: 0.0 }).validate().is_err());
+        assert!(PerfoParams::new(PerfoKind::Small { m: 4 })
+            .validate()
+            .is_ok());
+        assert!(PerfoParams::new(PerfoKind::Small { m: 1 })
+            .validate()
+            .is_err());
+        assert!(PerfoParams::new(PerfoKind::Ini { fraction: 0.3 })
+            .validate()
+            .is_ok());
+        assert!(PerfoParams::new(PerfoKind::Ini { fraction: 1.0 })
+            .validate()
+            .is_err());
+        assert!(PerfoParams::new(PerfoKind::Fini { fraction: 0.0 })
+            .validate()
+            .is_err());
     }
 
     #[test]
     fn perfo_drop_fractions() {
-        assert_eq!(PerfoParams::new(PerfoKind::Small { m: 4 }).drop_fraction(), 0.25);
-        assert_eq!(PerfoParams::new(PerfoKind::Large { m: 4 }).drop_fraction(), 0.75);
-        assert_eq!(PerfoParams::new(PerfoKind::Ini { fraction: 0.2 }).drop_fraction(), 0.2);
+        assert_eq!(
+            PerfoParams::new(PerfoKind::Small { m: 4 }).drop_fraction(),
+            0.25
+        );
+        assert_eq!(
+            PerfoParams::new(PerfoKind::Large { m: 4 }).drop_fraction(),
+            0.75
+        );
+        assert_eq!(
+            PerfoParams::new(PerfoKind::Ini { fraction: 0.2 }).drop_fraction(),
+            0.2
+        );
     }
 }

@@ -74,18 +74,14 @@ mod tests {
     #[test]
     fn small_skips_one_in_m_items() {
         let params = p(PerfoKind::Small { m: 4 }, false);
-        let skipped: Vec<usize> = (0..16)
-            .filter(|&i| should_skip(&params, i, 0))
-            .collect();
+        let skipped: Vec<usize> = (0..16).filter(|&i| should_skip(&params, i, 0)).collect();
         assert_eq!(skipped, vec![3, 7, 11, 15]);
     }
 
     #[test]
     fn large_executes_one_in_m_items() {
         let params = p(PerfoKind::Large { m: 4 }, false);
-        let executed: Vec<usize> = (0..16)
-            .filter(|&i| !should_skip(&params, i, 0))
-            .collect();
+        let executed: Vec<usize> = (0..16).filter(|&i| !should_skip(&params, i, 0)).collect();
         assert_eq!(executed, vec![0, 4, 8, 12]);
     }
 

@@ -22,7 +22,9 @@ use crate::perfo;
 use crate::region::{ApproxRegion, RegionError, Technique};
 use crate::shared_state;
 use crate::taf::TafPool;
-use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig, Schedule};
+use gpu_sim::{
+    AccessPattern, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig, Schedule,
+};
 
 /// The annotated code region: the accurate path, its declared inputs and
 /// outputs, and its cost.
@@ -71,7 +73,11 @@ pub trait RegionBody {
 
     /// Cost of writing the declared outputs for `lanes` lanes.
     fn store_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
-        CostProfile::new().global_write(lanes, (self.out_dim() * 8) as u32, AccessPattern::Coalesced)
+        CostProfile::new().global_write(
+            lanes,
+            (self.out_dim() * 8) as u32,
+            AccessPattern::Coalesced,
+        )
     }
 
     /// `Some(reason)` when iACT cannot apply (the paper's MiniFE case:
@@ -277,7 +283,11 @@ fn run_perfo(
                     // fragmented and the SIMD issue width unchanged, so the
                     // warp pays the cost of its full active width; herded
                     // skips are all-or-nothing so this is equivalent there.
-                    let effective = if params.herded { n_exec } else { lanes.len() as u32 };
+                    let effective = if params.herded {
+                        n_exec
+                    } else {
+                        lanes.len() as u32
+                    };
                     cost = cost.add(&body.accurate_cost(effective, spec));
                 }
                 exec.charge(b, w, &cost);
@@ -412,7 +422,9 @@ fn run_taf_serialized(
                         body.store(l.item, &out);
                         pool.note_approx(wid);
                         n_apx += 1;
-                        cost = cost.add(&pool.predict_cost()).add(&body.store_cost(1, spec));
+                        cost = cost
+                            .add(&pool.predict_cost())
+                            .add(&body.store_cost(1, spec));
                     } else {
                         body.accurate(l.item, &mut out);
                         body.store(l.item, &out);
@@ -885,7 +897,11 @@ mod tests {
         body.input.iter_mut().for_each(|v| *v = 7.0);
         let region = ApproxRegion::memo_out(2, 64, 0.1);
         let rec = approx_parallel_for(&spec(), &launch(64), Some(&region), &mut body).unwrap();
-        assert!(rec.stats.approx_fraction() > 0.5, "fraction = {}", rec.stats.approx_fraction());
+        assert!(
+            rec.stats.approx_fraction() > 0.5,
+            "fraction = {}",
+            rec.stats.approx_fraction()
+        );
         // Approximate outputs equal the memoized accurate value -> no error.
         let expect = (7.0f64 + 1.0).sqrt();
         assert!(body.output.iter().all(|&o| (o - expect).abs() < 1e-12));
@@ -1052,7 +1068,7 @@ mod tests {
     #[test]
     fn warp_level_eliminates_divergence() {
         // Mixed data: half the warps' lanes see constant input, half varying.
-        let mut mk = |level: HierarchyLevel| {
+        let mk = |level: HierarchyLevel| {
             let mut body = SqrtBody::new(N);
             // Even lanes see a constant stream (stable), odd lanes a
             // strictly increasing one (never stable): thread level diverges.

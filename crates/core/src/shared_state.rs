@@ -31,8 +31,7 @@ pub const IACT_ENTRY_CONTROL_BYTES: usize = 2;
 /// thread, each holding an `hsize` signature window plus the memoized
 /// `out_dim` output vector.
 pub fn taf_block_bytes(block_size: u32, params: &TafParams, out_dim: usize) -> usize {
-    let per_thread =
-        params.hsize * AC_SCALAR_BYTES + out_dim * AC_SCALAR_BYTES + TAF_CONTROL_BYTES;
+    let per_thread = params.hsize * AC_SCALAR_BYTES + out_dim * AC_SCALAR_BYTES + TAF_CONTROL_BYTES;
     block_size as usize * per_thread
 }
 
@@ -107,7 +106,10 @@ mod tests {
         let p5 = TafParams::new(5, 8, 0.5);
         let p1 = TafParams::new(1, 8, 0.5);
         assert!(taf_block_bytes(256, &p5, 1) > taf_block_bytes(256, &p1, 1));
-        assert_eq!(taf_block_bytes(512, &p1, 1), 2 * taf_block_bytes(256, &p1, 1));
+        assert_eq!(
+            taf_block_bytes(512, &p1, 1),
+            2 * taf_block_bytes(256, &p1, 1)
+        );
     }
 
     #[test]

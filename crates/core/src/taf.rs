@@ -172,7 +172,10 @@ mod tests {
             assert!(p.wants_approx(0));
             p.note_approx(0);
         }
-        assert!(!p.wants_approx(0), "regime must end after psize approximations");
+        assert!(
+            !p.wants_approx(0),
+            "regime must end after psize approximations"
+        );
     }
 
     #[test]

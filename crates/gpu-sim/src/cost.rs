@@ -159,10 +159,11 @@ mod tests {
 
     #[test]
     fn builder_accumulates() {
-        let c = CostProfile::new()
-            .flops(10.0)
-            .sfu(2.0)
-            .global_read(32, 8, AccessPattern::Coalesced);
+        let c =
+            CostProfile::new()
+                .flops(10.0)
+                .sfu(2.0)
+                .global_read(32, 8, AccessPattern::Coalesced);
         assert_eq!(c.flops, 10.0);
         assert_eq!(c.sfu, 2.0);
         assert_eq!(c.global_txns, 2.0);

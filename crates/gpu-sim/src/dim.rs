@@ -83,9 +83,7 @@ impl LaunchConfig {
     pub fn steps(&self) -> usize {
         match self.schedule {
             Schedule::GridStride => self.n_items.div_ceil(self.total_threads()),
-            Schedule::BlockLocal => self
-                .items_per_block()
-                .div_ceil(self.block_size as usize),
+            Schedule::BlockLocal => self.items_per_block().div_ceil(self.block_size as usize),
         }
     }
 

@@ -138,8 +138,8 @@ impl KernelExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dim::Schedule;
     use crate::coalesce::AccessPattern;
+    use crate::dim::Schedule;
 
     fn spec() -> DeviceSpec {
         DeviceSpec::v100()

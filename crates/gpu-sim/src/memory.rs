@@ -27,7 +27,11 @@ impl GlobalFit {
 /// Global-memory footprint of replicating `bytes_per_thread` of AC state for
 /// `n_threads` software threads (the CPU-HPAC design transplanted to GPU;
 /// Fig 3's y-axis).
-pub fn per_thread_state_fit(spec: &DeviceSpec, n_threads: u128, bytes_per_thread: u64) -> GlobalFit {
+pub fn per_thread_state_fit(
+    spec: &DeviceSpec,
+    n_threads: u128,
+    bytes_per_thread: u64,
+) -> GlobalFit {
     let required = n_threads * bytes_per_thread as u128;
     GlobalFit {
         required_bytes: required,

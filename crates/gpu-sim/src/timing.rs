@@ -36,7 +36,11 @@ pub struct Residency {
 }
 
 /// Compute block residency given per-block shared-memory use.
-pub fn residency(spec: &DeviceSpec, launch: &LaunchConfig, shared_bytes_per_block: usize) -> Residency {
+pub fn residency(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    shared_bytes_per_block: usize,
+) -> Residency {
     let warps_per_block = launch.warps_per_block(spec).max(1);
     let by_blocks = spec.max_blocks_per_sm;
     let by_warps = (spec.max_warps_per_sm / warps_per_block).max(1);
@@ -156,7 +160,12 @@ mod tests {
         }
     }
 
-    fn uniform_blocks(n_blocks: usize, warps: usize, issue: f64, latency: f64) -> Vec<Vec<WarpCycles>> {
+    fn uniform_blocks(
+        n_blocks: usize,
+        warps: usize,
+        issue: f64,
+        latency: f64,
+    ) -> Vec<Vec<WarpCycles>> {
         vec![vec![WarpCycles { issue, latency }; warps]; n_blocks]
     }
 
@@ -216,7 +225,12 @@ mod tests {
     #[test]
     fn more_blocks_more_waves() {
         let spec = DeviceSpec::v100();
-        let few = kernel_time(&spec, &launch(80, 256), 0, &uniform_blocks(80, 8, 100.0, 0.0));
+        let few = kernel_time(
+            &spec,
+            &launch(80, 256),
+            0,
+            &uniform_blocks(80, 8, 100.0, 0.0),
+        );
         let many_blocks = 80 * 33; // one more than a full wave of 32 per SM
         let many = kernel_time(
             &spec,

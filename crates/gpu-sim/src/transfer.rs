@@ -94,6 +94,8 @@ mod tests {
         assert_eq!(e.h2d_bytes, 1 << 20);
         assert_eq!(e.d2h_bytes, 1 << 10);
         assert!(e.total() > 0.6);
-        assert!((e.total() - (e.kernel_seconds + e.transfer_seconds + e.host_seconds)).abs() < 1e-15);
+        assert!(
+            (e.total() - (e.kernel_seconds + e.transfer_seconds + e.host_seconds)).abs() < 1e-15
+        );
     }
 }

@@ -24,7 +24,10 @@ pub fn decile_bins<'a>(rows: &[&'a Row], n_bins: usize) -> Vec<Vec<&'a Row>> {
     if finite.is_empty() {
         return vec![Vec::new(); n_bins];
     }
-    let lo = finite.iter().map(|r| r.error_pct).fold(f64::INFINITY, f64::min);
+    let lo = finite
+        .iter()
+        .map(|r| r.error_pct)
+        .fold(f64::INFINITY, f64::min);
     let hi = finite
         .iter()
         .map(|r| r.error_pct)
@@ -132,7 +135,10 @@ mod tests {
         let bins = decile_bins(&refs, 10);
         assert_eq!(bins.len(), 10);
         let total: usize = bins.iter().map(|b| b.len()).sum();
-        assert!(total >= 20, "must keep fastest+slowest per bin, kept {total}");
+        assert!(
+            total >= 20,
+            "must keep fastest+slowest per bin, kept {total}"
+        );
         assert!(total < 100, "must discard the middle, kept {total}");
     }
 

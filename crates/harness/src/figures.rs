@@ -138,7 +138,14 @@ pub fn fig06(db: &ResultsDb) -> Vec<FigureData> {
     let mut best = FigureData::new(
         "fig06_best",
         "Highest speedup with error < 10% (per benchmark/technique/platform)",
-        &["device", "benchmark", "technique", "speedup", "error_pct", "config"],
+        &[
+            "device",
+            "benchmark",
+            "technique",
+            "speedup",
+            "error_pct",
+            "config",
+        ],
     );
     let mut devices: Vec<String> = db.rows.iter().map(|r| r.device.clone()).collect();
     devices.sort();
@@ -194,11 +201,23 @@ pub fn fig06(db: &ResultsDb) -> Vec<FigureData> {
 
 /// Speedup-vs-error cloud for one benchmark/device/technique, decile-binned
 /// as the paper does to reduce overplotting (used by Figs 7-12 panels).
-pub fn cloud(db: &ResultsDb, benchmark: &str, device: &str, technique: &str, id: &str) -> FigureData {
+pub fn cloud(
+    db: &ResultsDb,
+    benchmark: &str,
+    device: &str,
+    technique: &str,
+    id: &str,
+) -> FigureData {
     let mut fig = FigureData::new(
         id,
         &format!("{benchmark} {technique} on {device}: speedup vs error"),
-        &["error_pct", "speedup", "approx_fraction", "divergent_fraction", "config"],
+        &[
+            "error_pct",
+            "speedup",
+            "approx_fraction",
+            "divergent_fraction",
+            "config",
+        ],
     );
     let rows = db.select(benchmark, device, technique);
     for bin in analyze::decile_bins(&rows, 10) {
@@ -220,7 +239,13 @@ pub fn fig07(db: &ResultsDb) -> Vec<FigureData> {
     let mut out = Vec::new();
     for (device, tag) in [("V100", "nvidia"), ("MI250X", "amd")] {
         for (tech, t) in [("Perfo", "perfo"), ("TAF", "taf"), ("iACT", "iact")] {
-            out.push(cloud(db, "LULESH", device, tech, &format!("fig07_{t}_{tag}")));
+            out.push(cloud(
+                db,
+                "LULESH",
+                device,
+                tech,
+                &format!("fig07_{t}_{tag}"),
+            ));
         }
     }
     out
@@ -307,7 +332,16 @@ pub fn fig10c(cfg: &Blackscholes, scale: Scale) -> FigureData {
     let mut fig = FigureData::new(
         "fig10c_distributions",
         "Blackscholes output price distribution vs TAF RSD threshold (h=5, p=512)",
-        &["threshold", "mape_pct", "approx_pct", "p5", "p25", "median", "p75", "p95"],
+        &[
+            "threshold",
+            "mape_pct",
+            "approx_pct",
+            "p5",
+            "p25",
+            "median",
+            "p75",
+            "p95",
+        ],
     );
     let mut push_dist = |label: String, prices: &[f64], mape_pct: f64, approx_pct: f64| {
         let mut sorted = prices.to_vec();
@@ -364,7 +398,14 @@ pub fn fig11c(cfg: &LavaMd, scale: Scale) -> FigureData {
     let mut fig = FigureData::new(
         "fig11c_hierarchy",
         "LavaMD TAF on AMD: thread- vs warp-level decision speedup",
-        &["threshold", "hsize", "psize", "ipt", "thread_speedup", "warp_speedup"],
+        &[
+            "threshold",
+            "hsize",
+            "psize",
+            "ipt",
+            "thread_speedup",
+            "warp_speedup",
+        ],
     );
     let thresholds: Vec<f64> = match scale {
         Scale::Full => vec![0.6, 0.9, 1.2, 1.5, 3.0, 5.0],
@@ -384,8 +425,7 @@ pub fn fig11c(cfg: &LavaMd, scale: Scale) -> FigureData {
                         lp: LaunchParams::new(ipt, 256),
                         label: String::new(),
                     };
-                    let tr =
-                        runner::run_config(cfg, &spec, &baseline, &mk(HierarchyLevel::Thread));
+                    let tr = runner::run_config(cfg, &spec, &baseline, &mk(HierarchyLevel::Thread));
                     let wr = runner::run_config(cfg, &spec, &baseline, &mk(HierarchyLevel::Warp));
                     if let (Ok(tr), Ok(wr)) = (tr, wr) {
                         fig.push_row(vec![
@@ -447,7 +487,12 @@ pub fn table1(benches: &[&dyn Benchmark]) -> FigureData {
     let mut fig = FigureData::new(
         "table1",
         "Benchmarks used to evaluate hpac-offload",
-        &["benchmark", "error_metric", "timing_basis", "decision_scope"],
+        &[
+            "benchmark",
+            "error_metric",
+            "timing_basis",
+            "decision_scope",
+        ],
     );
     for b in benches {
         fig.push_row(vec![
@@ -476,11 +521,7 @@ pub fn table2(scale: Scale) -> FigureData {
         &["technique", "parameter", "values"],
     );
     let (h, p, t) = match scale {
-        Scale::Full => (
-            "1,2,3,4,5",
-            "2,4,8,...,512",
-            "0.3,0.6,...,1.5,3,5,20",
-        ),
+        Scale::Full => ("1,2,3,4,5", "2,4,8,...,512", "0.3,0.6,...,1.5,3,5,20"),
         Scale::Quick => ("1,3,5", "4,32,512", "0.3,0.9,1.5,3,20"),
     };
     fig.push_row(vec!["TAF".into(), "hSize".into(), h.into()]);
@@ -497,8 +538,16 @@ pub fn table2(scale: Scale) -> FigureData {
         Scale::Full => ("2,4,8,16,32,64", "10,20,...,90"),
         Scale::Quick => ("2,8,64", "10,50,90"),
     };
-    fig.push_row(vec!["Perfo".into(), "skip (small,large)".into(), skips.into()]);
-    fig.push_row(vec!["Perfo".into(), "skipPercent (ini,fini)".into(), pcts.into()]);
+    fig.push_row(vec![
+        "Perfo".into(),
+        "skip (small,large)".into(),
+        skips.into(),
+    ]);
+    fig.push_row(vec![
+        "Perfo".into(),
+        "skipPercent (ini,fini)".into(),
+        pcts.into(),
+    ]);
     let ipt = match scale {
         Scale::Full => "8,16,32,...,512",
         Scale::Quick => "8,64,512",

@@ -32,6 +32,75 @@ pub struct SweepConfig {
     pub label: String,
 }
 
+/// The TAF grid, one vector per axis. Exposed (via [`taf_axes`]) so
+/// adaptive tuners can search along individual axes instead of sweeping the
+/// full Cartesian product.
+#[derive(Debug, Clone)]
+pub struct TafAxes {
+    pub hsize: Vec<usize>,
+    pub psize: Vec<usize>,
+    pub threshold: Vec<f64>,
+    pub levels: Vec<HierarchyLevel>,
+    pub items_per_thread: Vec<usize>,
+}
+
+/// The iACT grid, one vector per axis (already filtered to tables-per-warp
+/// values the device supports).
+#[derive(Debug, Clone)]
+pub struct IactAxes {
+    pub tables_per_warp: Vec<u32>,
+    pub tsize: Vec<usize>,
+    pub threshold: Vec<f64>,
+    pub levels: Vec<HierarchyLevel>,
+    pub items_per_thread: Vec<usize>,
+}
+
+/// The perforation grids: the rate axes (small/large) and the bounds axes
+/// (ini/fini, always items-per-thread 1).
+#[derive(Debug, Clone)]
+pub struct PerfoAxes {
+    pub skip_m: Vec<u32>,
+    pub fractions: Vec<f64>,
+    pub items_per_thread: Vec<usize>,
+}
+
+/// TAF axes for a benchmark on a device.
+pub fn taf_axes(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) -> TafAxes {
+    let (hsize, psize, threshold) = taf_grid(scale);
+    TafAxes {
+        hsize,
+        psize,
+        threshold,
+        levels: hierarchy_levels(bench),
+        items_per_thread: items_per_thread(scale, false),
+    }
+}
+
+/// iACT axes for a benchmark on a device.
+pub fn iact_axes(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> IactAxes {
+    let (tperwarp, tsize, threshold) = iact_grid(scale, device);
+    IactAxes {
+        tables_per_warp: tperwarp
+            .into_iter()
+            .filter(|&t| t <= device.warp_size)
+            .collect(),
+        tsize,
+        threshold,
+        levels: hierarchy_levels(bench),
+        items_per_thread: items_per_thread(scale, false),
+    }
+}
+
+/// Perforation axes for a benchmark on a device.
+pub fn perfo_axes(_bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) -> PerfoAxes {
+    let (skip_m, fractions) = perfo_rates(scale);
+    PerfoAxes {
+        skip_m,
+        fractions,
+        items_per_thread: items_per_thread(scale, true),
+    }
+}
+
 fn taf_grid(scale: Scale) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
     match scale {
         Scale::Full => (
@@ -119,17 +188,15 @@ pub fn block_size_for(bench: &dyn Benchmark) -> u32 {
 }
 
 /// TAF configurations for a benchmark on a device.
-pub fn taf_configs(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
-    let (hsizes, psizes, threshes) = taf_grid(scale);
-    let levels = hierarchy_levels(bench);
-    let ipts = items_per_thread(scale, false);
+pub fn taf_configs(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
+    let axes = taf_axes(bench, device, scale);
     let bs = block_size_for(bench);
     let mut out = Vec::new();
-    for &h in &hsizes {
-        for &p in &psizes {
-            for &t in &threshes {
-                for &lvl in &levels {
-                    for &ipt in &ipts {
+    for &h in &axes.hsize {
+        for &p in &axes.psize {
+            for &t in &axes.threshold {
+                for &lvl in &axes.levels {
+                    for &ipt in &axes.items_per_thread {
                         out.push(SweepConfig {
                             region: ApproxRegion::memo_out(h, p, t).level(lvl),
                             lp: LaunchParams::new(ipt, bs),
@@ -145,23 +212,16 @@ pub fn taf_configs(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) ->
 
 /// iACT configurations for a benchmark on a device.
 pub fn iact_configs(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
-    let (tperwarps, tsizes, threshes) = iact_grid(scale, device);
-    let levels = hierarchy_levels(bench);
-    let ipts = items_per_thread(scale, false);
+    let axes = iact_axes(bench, device, scale);
     let bs = block_size_for(bench);
     let mut out = Vec::new();
-    for &tpw in &tperwarps {
-        if tpw > device.warp_size {
-            continue;
-        }
-        for &ts in &tsizes {
-            for &t in &threshes {
-                for &lvl in &levels {
-                    for &ipt in &ipts {
+    for &tpw in &axes.tables_per_warp {
+        for &ts in &axes.tsize {
+            for &t in &axes.threshold {
+                for &lvl in &axes.levels {
+                    for &ipt in &axes.items_per_thread {
                         out.push(SweepConfig {
-                            region: ApproxRegion::memo_in(ts, t)
-                                .tables_per_warp(tpw)
-                                .level(lvl),
+                            region: ApproxRegion::memo_in(ts, t).tables_per_warp(tpw).level(lvl),
                             lp: LaunchParams::new(ipt, bs),
                             label: format!("ts={ts} thr={t} tpw={tpw} lvl={lvl} ipt={ipt}"),
                         });
@@ -174,14 +234,13 @@ pub fn iact_configs(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) ->
 }
 
 /// Perforation configurations (herded small/large + ini/fini bounds).
-pub fn perfo_configs(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
-    let (skips, fractions) = perfo_rates(scale);
-    let ipts = items_per_thread(scale, true);
+pub fn perfo_configs(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<SweepConfig> {
+    let axes = perfo_axes(bench, device, scale);
     let bs = block_size_for(bench);
     let mut out = Vec::new();
-    for &m in &skips {
+    for &m in &axes.skip_m {
         for kind in [PerfoKind::Small { m }, PerfoKind::Large { m }] {
-            for &ipt in &ipts {
+            for &ipt in &axes.items_per_thread {
                 let region = ApproxRegion::perfo(kind);
                 out.push(SweepConfig {
                     region,
@@ -191,8 +250,11 @@ pub fn perfo_configs(bench: &dyn Benchmark, _device: &DeviceSpec, scale: Scale) 
             }
         }
     }
-    for &f in &fractions {
-        for kind in [PerfoKind::Ini { fraction: f }, PerfoKind::Fini { fraction: f }] {
+    for &f in &axes.fractions {
+        for kind in [
+            PerfoKind::Ini { fraction: f },
+            PerfoKind::Fini { fraction: f },
+        ] {
             let region = ApproxRegion::perfo(kind);
             out.push(SweepConfig {
                 region,
@@ -222,6 +284,28 @@ pub fn plan(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<Swe
     all
 }
 
+/// Size of the full (paper Table 2) design space for one benchmark on one
+/// device — the denominator for an adaptive tuner's evaluation budget.
+/// Computed arithmetically from the axis lengths; materializing the full
+/// plan just to count it would allocate 10k+ labeled configs.
+pub fn full_space_size(bench: &dyn Benchmark, device: &DeviceSpec) -> usize {
+    let taf = taf_axes(bench, device, Scale::Full);
+    let iact = iact_axes(bench, device, Scale::Full);
+    let perfo = perfo_axes(bench, device, Scale::Full);
+    taf.hsize.len()
+        * taf.psize.len()
+        * taf.threshold.len()
+        * taf.levels.len()
+        * taf.items_per_thread.len()
+        + iact.tables_per_warp.len()
+            * iact.tsize.len()
+            * iact.threshold.len()
+            * iact.levels.len()
+            * iact.items_per_thread.len()
+        + perfo.skip_m.len() * 2 * perfo.items_per_thread.len()
+        + perfo.fractions.len() * 2
+}
+
 /// Items-per-thread candidates used to pick the non-approximated baseline.
 pub fn baseline_ipts(bench: &dyn Benchmark) -> Vec<usize> {
     if bench.block_level_only() {
@@ -234,8 +318,8 @@ pub fn baseline_ipts(bench: &dyn Benchmark) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpac_apps::blackscholes::Blackscholes;
     use hpac_apps::binomial::BinomialOptions;
+    use hpac_apps::blackscholes::Blackscholes;
 
     #[test]
     fn quick_grids_are_small() {
@@ -284,6 +368,69 @@ mod tests {
                 });
             }
         }
+    }
+
+    #[test]
+    fn axes_products_match_config_counts() {
+        let bench = Blackscholes::default();
+        for device in DeviceSpec::evaluation_platforms() {
+            for scale in [Scale::Quick, Scale::Full] {
+                let taf = taf_axes(&bench, &device, scale);
+                assert_eq!(
+                    taf_configs(&bench, &device, scale).len(),
+                    taf.hsize.len()
+                        * taf.psize.len()
+                        * taf.threshold.len()
+                        * taf.levels.len()
+                        * taf.items_per_thread.len()
+                );
+                let iact = iact_axes(&bench, &device, scale);
+                assert_eq!(
+                    iact_configs(&bench, &device, scale).len(),
+                    iact.tables_per_warp.len()
+                        * iact.tsize.len()
+                        * iact.threshold.len()
+                        * iact.levels.len()
+                        * iact.items_per_thread.len()
+                );
+                let perfo = perfo_axes(&bench, &device, scale);
+                assert_eq!(
+                    perfo_configs(&bench, &device, scale).len(),
+                    perfo.skip_m.len() * 2 * perfo.items_per_thread.len()
+                        + perfo.fractions.len() * 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iact_axes_respect_warp_size() {
+        let bench = Blackscholes::default();
+        let v100 = DeviceSpec::v100();
+        let axes = iact_axes(&bench, &v100, Scale::Full);
+        assert!(axes.tables_per_warp.iter().all(|&t| t <= v100.warp_size));
+    }
+
+    #[test]
+    fn full_space_size_matches_plan() {
+        // The arithmetic count must track the materialized plan on both
+        // devices and for block-level-only benchmarks.
+        let benches: [Box<dyn Benchmark>; 2] = [
+            Box::new(Blackscholes::default()),
+            Box::new(BinomialOptions::default()),
+        ];
+        for bench in &benches {
+            for device in DeviceSpec::evaluation_platforms() {
+                assert_eq!(
+                    full_space_size(bench.as_ref(), &device),
+                    plan(bench.as_ref(), &device, Scale::Full).len(),
+                    "{} on {}",
+                    bench.name(),
+                    device.name
+                );
+            }
+        }
+        assert!(full_space_size(benches[0].as_ref(), &DeviceSpec::v100()) > 5_000);
     }
 
     #[test]

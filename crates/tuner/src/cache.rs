@@ -1,0 +1,502 @@
+//! The persistent tuning cache.
+//!
+//! A production tuner is asked the same question many times: "fastest
+//! configuration for benchmark B on device D under bound X". The answer
+//! only changes when the device changes, so each answer — the chosen plan
+//! *and* the whole Pareto frontier behind it — is serialized to one JSON
+//! file keyed by (benchmark, device, bound). A stored entry carries a
+//! fingerprint of the device spec it was tuned against; loading with a
+//! different fingerprint invalidates (deletes) the entry instead of serving
+//! a stale plan.
+
+use crate::json::Json;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::plan::TunedPlan;
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::LaunchParams;
+use hpac_core::params::{PerfoKind, Replacement};
+use hpac_core::region::{ApproxRegion, Technique};
+use hpac_core::HierarchyLevel;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Format version; bump to invalidate every cached entry on schema change.
+const CACHE_VERSION: f64 = 1.0;
+
+/// FNV-1a over a byte stream — the crate's one hash, shared by the device
+/// fingerprint and the tuner's deterministic search seeds.
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+/// Stable fingerprint of everything about a device that affects tuning
+/// results. Cached entries from a differently-specced device never load.
+pub fn device_fingerprint(spec: &DeviceSpec) -> u64 {
+    let c = &spec.costs;
+    let canonical = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}|{:e}",
+        spec.name,
+        spec.vendor,
+        spec.sm_count,
+        spec.warp_size,
+        spec.max_threads_per_block,
+        spec.max_warps_per_sm,
+        spec.max_blocks_per_sm,
+        spec.shared_mem_per_block,
+        spec.shared_mem_per_sm,
+        spec.global_mem_bytes,
+        c.flop_cycles,
+        c.sfu_cycles,
+        c.shared_cycles,
+        c.global_txn_cycles,
+        c.global_latency_cycles,
+        c.barrier_cycles,
+        c.atomic_cycles,
+        c.block_overhead_cycles,
+        c.clock_ghz,
+        c.xfer_bandwidth_gbs,
+        c.xfer_latency_us,
+        c.kernel_launch_us,
+    );
+    fnv1a(canonical.bytes())
+}
+
+/// A directory of cached tuning results, one JSON file per
+/// (benchmark, device, bound) key.
+#[derive(Debug, Clone)]
+pub struct TuningCache {
+    dir: PathBuf,
+}
+
+impl TuningCache {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TuningCache { dir: dir.into() }
+    }
+
+    /// The workspace's conventional location (`target/` is already the home
+    /// of generated artifacts like `target/figures`).
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/tuner-cache")
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn key_path(&self, benchmark: &str, device: &str, bound_pct: f64) -> PathBuf {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        };
+        // Bound in basis points keeps the file name integral and unique for
+        // any bound expressed to 0.01%.
+        let bound_bp = (bound_pct * 100.0).round() as i64;
+        self.dir.join(format!(
+            "{}__{}__{}bp.json",
+            sanitize(benchmark),
+            sanitize(device),
+            bound_bp
+        ))
+    }
+
+    /// Load the cached plan for a key, verifying the device fingerprint.
+    /// A missing entry returns `None`; a stale or unreadable entry is
+    /// deleted and also returns `None`.
+    pub fn load(
+        &self,
+        benchmark: &str,
+        device: &str,
+        bound_pct: f64,
+        fingerprint: u64,
+    ) -> Option<TunedPlan> {
+        let path = self.key_path(benchmark, device, bound_pct);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match Json::parse(&text)
+            .ok()
+            .and_then(|v| plan_from_json(&v, fingerprint))
+        {
+            Some(mut plan) => {
+                plan.from_cache = true;
+                Some(plan)
+            }
+            None => {
+                // Stale fingerprint, version bump, or corrupt entry.
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persist a plan under its (benchmark, device, bound) key.
+    pub fn store(&self, plan: &TunedPlan, fingerprint: u64) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.key_path(&plan.benchmark, &plan.device, plan.bound_pct);
+        std::fs::write(&path, plan_to_json(plan, fingerprint).render())?;
+        Ok(path)
+    }
+
+    /// Remove every cached entry.
+    pub fn clear(&self) -> io::Result<()> {
+        if self.dir.exists() {
+            std::fs::remove_dir_all(&self.dir)?;
+        }
+        Ok(())
+    }
+}
+
+fn level_str(level: HierarchyLevel) -> &'static str {
+    match level {
+        HierarchyLevel::Thread => "thread",
+        HierarchyLevel::Warp => "warp",
+        HierarchyLevel::Block => "block",
+    }
+}
+
+fn level_from_str(s: &str) -> Option<HierarchyLevel> {
+    match s {
+        "thread" => Some(HierarchyLevel::Thread),
+        "warp" => Some(HierarchyLevel::Warp),
+        "block" => Some(HierarchyLevel::Block),
+        _ => None,
+    }
+}
+
+/// Serialize a region to JSON. Public (crate-wide) so tests can check the
+/// round trip without a cache directory.
+pub(crate) fn region_to_json(region: &ApproxRegion) -> Json {
+    let mut fields = vec![("level".to_string(), Json::str(level_str(region.level)))];
+    match &region.technique {
+        Technique::Taf(p) => {
+            fields.push(("technique".into(), Json::str("TAF")));
+            fields.push(("hsize".into(), Json::num(p.hsize as f64)));
+            fields.push(("psize".into(), Json::num(p.psize as f64)));
+            fields.push(("threshold".into(), Json::num(p.threshold)));
+        }
+        Technique::Iact(p) => {
+            fields.push(("technique".into(), Json::str("iACT")));
+            fields.push(("tsize".into(), Json::num(p.tsize as f64)));
+            fields.push(("threshold".into(), Json::num(p.threshold)));
+            fields.push((
+                "tables_per_warp".into(),
+                Json::num(p.tables_per_warp as f64),
+            ));
+            fields.push((
+                "replacement".into(),
+                Json::str(match p.replacement {
+                    Replacement::RoundRobin => "round_robin",
+                    Replacement::Clock => "clock",
+                }),
+            ));
+        }
+        Technique::Perfo(p) => {
+            fields.push(("technique".into(), Json::str("Perfo")));
+            let (kind, value) = match p.kind {
+                PerfoKind::Small { m } => ("small", m as f64),
+                PerfoKind::Large { m } => ("large", m as f64),
+                PerfoKind::Ini { fraction } => ("ini", fraction),
+                PerfoKind::Fini { fraction } => ("fini", fraction),
+            };
+            fields.push(("kind".into(), Json::str(kind)));
+            fields.push(("rate".into(), Json::num(value)));
+            fields.push(("herded".into(), Json::Bool(p.herded)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+pub(crate) fn region_from_json(v: &Json) -> Option<ApproxRegion> {
+    let level = level_from_str(v.get("level")?.as_str()?)?;
+    let region = match v.get("technique")?.as_str()? {
+        "TAF" => ApproxRegion::memo_out(
+            v.get("hsize")?.as_usize()?,
+            v.get("psize")?.as_usize()?,
+            v.get("threshold")?.as_f64()?,
+        ),
+        "iACT" => {
+            let replacement = match v.get("replacement")?.as_str()? {
+                "round_robin" => Replacement::RoundRobin,
+                "clock" => Replacement::Clock,
+                _ => return None,
+            };
+            ApproxRegion::memo_in(v.get("tsize")?.as_usize()?, v.get("threshold")?.as_f64()?)
+                .tables_per_warp(v.get("tables_per_warp")?.as_f64()? as u32)
+                .replacement(replacement)
+        }
+        "Perfo" => {
+            let rate = v.get("rate")?.as_f64()?;
+            let kind = match v.get("kind")?.as_str()? {
+                "small" => PerfoKind::Small { m: rate as u32 },
+                "large" => PerfoKind::Large { m: rate as u32 },
+                "ini" => PerfoKind::Ini { fraction: rate },
+                "fini" => PerfoKind::Fini { fraction: rate },
+                _ => return None,
+            };
+            ApproxRegion::perfo(kind).herded(v.get("herded")?.as_bool()?)
+        }
+        _ => return None,
+    };
+    Some(region.level(level))
+}
+
+fn lp_to_json(lp: &LaunchParams) -> Json {
+    Json::Obj(vec![
+        (
+            "items_per_thread".into(),
+            Json::num(lp.items_per_thread as f64),
+        ),
+        ("block_size".into(), Json::num(lp.block_size as f64)),
+    ])
+}
+
+fn lp_from_json(v: &Json) -> Option<LaunchParams> {
+    Some(LaunchParams::new(
+        v.get("items_per_thread")?.as_usize()?,
+        v.get("block_size")?.as_f64()? as u32,
+    ))
+}
+
+fn frontier_to_json(frontier: &ParetoFrontier) -> Json {
+    Json::Arr(
+        frontier
+            .points()
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("speedup".into(), Json::num(p.speedup)),
+                    ("error_pct".into(), Json::num(p.error_pct)),
+                    ("technique".into(), Json::str(p.technique.clone())),
+                    ("config".into(), Json::str(p.config.clone())),
+                    (
+                        "items_per_thread".into(),
+                        Json::num(p.items_per_thread as f64),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn frontier_from_json(v: &Json) -> Option<ParetoFrontier> {
+    let mut frontier = ParetoFrontier::new();
+    for item in v.as_arr()? {
+        frontier.insert(ParetoPoint {
+            speedup: item.get("speedup")?.as_f64()?,
+            error_pct: item.get("error_pct")?.as_f64()?,
+            technique: item.get("technique")?.as_str()?.to_string(),
+            config: item.get("config")?.as_str()?.to_string(),
+            items_per_thread: item.get("items_per_thread")?.as_usize()?,
+        });
+    }
+    Some(frontier)
+}
+
+fn plan_to_json(plan: &TunedPlan, fingerprint: u64) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::num(CACHE_VERSION)),
+        // u64 splits into two 32-bit halves to stay within f64's exact
+        // integer range.
+        (
+            "fingerprint_hi".into(),
+            Json::num((fingerprint >> 32) as f64),
+        ),
+        (
+            "fingerprint_lo".into(),
+            Json::num((fingerprint & 0xFFFF_FFFF) as f64),
+        ),
+        ("benchmark".into(), Json::str(plan.benchmark.clone())),
+        ("device".into(), Json::str(plan.device.clone())),
+        ("bound_pct".into(), Json::num(plan.bound_pct)),
+        (
+            "region".into(),
+            plan.region.as_ref().map_or(Json::Null, region_to_json),
+        ),
+        ("lp".into(), lp_to_json(&plan.lp)),
+        ("technique".into(), Json::str(plan.technique.clone())),
+        ("config".into(), Json::str(plan.config.clone())),
+        (
+            "predicted_speedup".into(),
+            Json::num(plan.predicted_speedup),
+        ),
+        (
+            "measured_error_pct".into(),
+            Json::num(plan.measured_error_pct),
+        ),
+        ("baseline_lp".into(), lp_to_json(&plan.baseline_lp)),
+        ("evaluations".into(), Json::num(plan.evaluations as f64)),
+        ("full_space".into(), Json::num(plan.full_space as f64)),
+        ("frontier".into(), frontier_to_json(&plan.frontier)),
+    ])
+}
+
+fn plan_from_json(v: &Json, expected_fingerprint: u64) -> Option<TunedPlan> {
+    if v.get("version")?.as_f64()? != CACHE_VERSION {
+        return None;
+    }
+    let hi = v.get("fingerprint_hi")?.as_f64()? as u64;
+    let lo = v.get("fingerprint_lo")?.as_f64()? as u64;
+    if (hi << 32) | lo != expected_fingerprint {
+        return None;
+    }
+    let region = match v.get("region")? {
+        Json::Null => None,
+        r => Some(region_from_json(r)?),
+    };
+    Some(TunedPlan {
+        benchmark: v.get("benchmark")?.as_str()?.to_string(),
+        device: v.get("device")?.as_str()?.to_string(),
+        bound_pct: v.get("bound_pct")?.as_f64()?,
+        region,
+        lp: lp_from_json(v.get("lp")?)?,
+        technique: v.get("technique")?.as_str()?.to_string(),
+        config: v.get("config")?.as_str()?.to_string(),
+        predicted_speedup: v.get("predicted_speedup")?.as_f64()?,
+        measured_error_pct: v.get("measured_error_pct")?.as_f64()?,
+        baseline_lp: lp_from_json(v.get("baseline_lp")?)?,
+        evaluations: v.get("evaluations")?.as_usize()?,
+        full_space: v.get("full_space")?.as_usize()?,
+        from_cache: false,
+        frontier: frontier_from_json(v.get("frontier")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> TunedPlan {
+        let mut frontier = ParetoFrontier::new();
+        frontier.insert(ParetoPoint {
+            speedup: 1.4,
+            error_pct: 0.5,
+            technique: "TAF".into(),
+            config: "h=2 p=32 thr=0.9 lvl=warp ipt=16".into(),
+            items_per_thread: 16,
+        });
+        frontier.insert(ParetoPoint {
+            speedup: 2.1,
+            error_pct: 4.0,
+            technique: "Perfo".into(),
+            config: "large:8 ipt=16".into(),
+            items_per_thread: 16,
+        });
+        TunedPlan {
+            benchmark: "Blackscholes".into(),
+            device: "V100".into(),
+            bound_pct: 5.0,
+            region: Some(ApproxRegion::memo_out(2, 32, 0.9).level(HierarchyLevel::Warp)),
+            lp: LaunchParams::new(16, 256),
+            technique: "TAF".into(),
+            config: "h=2 p=32 thr=0.9 lvl=warp ipt=16".into(),
+            predicted_speedup: 2.1,
+            measured_error_pct: 4.0,
+            baseline_lp: LaunchParams::new(8, 256),
+            evaluations: 123,
+            full_space: 7854,
+            from_cache: false,
+            frontier,
+        }
+    }
+
+    fn temp_cache(tag: &str) -> TuningCache {
+        TuningCache::new(std::env::temp_dir().join(format!("hpac_tuner_cache_{tag}")))
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let cache = temp_cache("roundtrip");
+        let _ = cache.clear();
+        let plan = sample_plan();
+        cache.store(&plan, 42).unwrap();
+        let loaded = cache.load("Blackscholes", "V100", 5.0, 42).unwrap();
+        assert!(loaded.from_cache);
+        assert_eq!(loaded.config, plan.config);
+        assert_eq!(loaded.region, plan.region);
+        assert_eq!(loaded.lp, plan.lp);
+        assert_eq!(loaded.evaluations, plan.evaluations);
+        assert_eq!(loaded.frontier.len(), plan.frontier.len());
+        assert_eq!(loaded.predicted_speedup, plan.predicted_speedup);
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_invalidates() {
+        let cache = temp_cache("fingerprint");
+        let _ = cache.clear();
+        let plan = sample_plan();
+        let path = cache.store(&plan, 42).unwrap();
+        assert!(cache.load("Blackscholes", "V100", 5.0, 43).is_none());
+        assert!(!path.exists(), "stale entry must be deleted");
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_invalidates() {
+        let cache = temp_cache("corrupt");
+        let _ = cache.clear();
+        let plan = sample_plan();
+        let path = cache.store(&plan, 42).unwrap();
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(cache.load("Blackscholes", "V100", 5.0, 42).is_none());
+        assert!(!path.exists());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let cache = temp_cache("missing");
+        let _ = cache.clear();
+        assert!(cache.load("Nope", "V100", 5.0, 42).is_none());
+    }
+
+    #[test]
+    fn keys_distinguish_bounds_and_devices() {
+        let cache = temp_cache("keys");
+        let _ = cache.clear();
+        let plan = sample_plan();
+        cache.store(&plan, 42).unwrap();
+        assert!(cache.load("Blackscholes", "V100", 1.0, 42).is_none());
+        assert!(cache.load("Blackscholes", "MI250X", 5.0, 42).is_none());
+        assert!(cache.load("Blackscholes", "V100", 5.0, 42).is_some());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn region_json_roundtrips_all_techniques() {
+        let regions = [
+            ApproxRegion::memo_out(3, 5, 1.5).level(HierarchyLevel::Block),
+            ApproxRegion::memo_in(4, 0.5)
+                .tables_per_warp(16)
+                .level(HierarchyLevel::Warp),
+            ApproxRegion::memo_in(2, 0.1).replacement(Replacement::Clock),
+            ApproxRegion::perfo(PerfoKind::Small { m: 8 }),
+            ApproxRegion::perfo(PerfoKind::Large { m: 4 }).herded(false),
+            ApproxRegion::perfo(PerfoKind::Ini { fraction: 0.3 }),
+            ApproxRegion::perfo(PerfoKind::Fini { fraction: 0.7 }),
+        ];
+        for region in regions {
+            let json = region_to_json(&region);
+            let back = region_from_json(&Json::parse(&json.render()).unwrap()).unwrap();
+            assert_eq!(back, region);
+        }
+    }
+
+    #[test]
+    fn device_fingerprints_differ_and_are_stable() {
+        let v100 = DeviceSpec::v100();
+        let mi = DeviceSpec::mi250x();
+        assert_eq!(device_fingerprint(&v100), device_fingerprint(&v100));
+        assert_ne!(device_fingerprint(&v100), device_fingerprint(&mi));
+        let mut tweaked = v100;
+        tweaked.sm_count += 1;
+        assert_ne!(device_fingerprint(&v100), device_fingerprint(&tweaked));
+        let mut recalibrated = v100;
+        recalibrated.costs.global_txn_cycles *= 1.01;
+        assert_ne!(device_fingerprint(&v100), device_fingerprint(&recalibrated));
+    }
+}

@@ -1,0 +1,233 @@
+//! Indexable per-technique grids over the harness's Table 2 axes.
+//!
+//! The sweep machinery in `hpac_harness::space` materializes the full
+//! Cartesian product. Adaptive search instead needs *random access*: "the
+//! configuration at index (2, 0, 5, 1, 3)" and "how long is axis 2". This
+//! module wraps the exposed axis vectors ([`hpac_harness::space::taf_axes`]
+//! et al.) behind that interface. Perforation splits into two grids because
+//! its space is a union, not a product: rate patterns (small/large × m ×
+//! items-per-thread) and bounds patterns (ini/fini × fraction, always at
+//! items-per-thread 1).
+
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::{Benchmark, LaunchParams};
+use hpac_core::params::PerfoKind;
+use hpac_core::region::ApproxRegion;
+use hpac_harness::space::{self, IactAxes, PerfoAxes, Scale, SweepConfig, TafAxes};
+
+enum GridKind {
+    Taf(TafAxes),
+    Iact(IactAxes),
+    PerfoRate(PerfoAxes),
+    PerfoBounds(PerfoAxes),
+}
+
+/// One indexable technique grid for a benchmark on a device.
+pub struct Grid {
+    kind: GridKind,
+    axis_lens: Vec<usize>,
+    block_size: u32,
+}
+
+impl Grid {
+    /// All technique grids for a benchmark on a device (grids with an empty
+    /// axis are dropped).
+    pub fn grids_for(bench: &dyn Benchmark, device: &DeviceSpec, scale: Scale) -> Vec<Grid> {
+        let block_size = space::block_size_for(bench);
+        let taf = space::taf_axes(bench, device, scale);
+        let iact = space::iact_axes(bench, device, scale);
+        let perfo = space::perfo_axes(bench, device, scale);
+        let mut grids = vec![
+            Grid::new(
+                vec![
+                    taf.hsize.len(),
+                    taf.psize.len(),
+                    taf.threshold.len(),
+                    taf.levels.len(),
+                    taf.items_per_thread.len(),
+                ],
+                GridKind::Taf(taf),
+                block_size,
+            ),
+            Grid::new(
+                vec![
+                    iact.tables_per_warp.len(),
+                    iact.tsize.len(),
+                    iact.threshold.len(),
+                    iact.levels.len(),
+                    iact.items_per_thread.len(),
+                ],
+                GridKind::Iact(iact),
+                block_size,
+            ),
+            Grid::new(
+                vec![2, perfo.skip_m.len(), perfo.items_per_thread.len()],
+                GridKind::PerfoRate(perfo.clone()),
+                block_size,
+            ),
+            Grid::new(
+                vec![2, perfo.fractions.len()],
+                GridKind::PerfoBounds(perfo),
+                block_size,
+            ),
+        ];
+        grids.retain(|g| g.size() > 0);
+        grids
+    }
+
+    fn new(axis_lens: Vec<usize>, kind: GridKind, block_size: u32) -> Grid {
+        Grid {
+            kind,
+            axis_lens,
+            block_size,
+        }
+    }
+
+    /// Technique label for reporting ("TAF", "iACT", "Perfo").
+    pub fn technique(&self) -> &'static str {
+        match self.kind {
+            GridKind::Taf(_) => "TAF",
+            GridKind::Iact(_) => "iACT",
+            GridKind::PerfoRate(_) | GridKind::PerfoBounds(_) => "Perfo",
+        }
+    }
+
+    pub fn axis_count(&self) -> usize {
+        self.axis_lens.len()
+    }
+
+    pub fn axis_len(&self, axis: usize) -> usize {
+        self.axis_lens[axis]
+    }
+
+    /// Number of configurations in this grid's product.
+    pub fn size(&self) -> usize {
+        self.axis_lens.iter().product()
+    }
+
+    /// Materialize the configuration at an index vector (one index per
+    /// axis). Panics on out-of-range indices — callers own clamping.
+    pub fn build(&self, idx: &[usize]) -> SweepConfig {
+        assert_eq!(idx.len(), self.axis_count(), "index arity mismatch");
+        let bs = self.block_size;
+        match &self.kind {
+            GridKind::Taf(a) => {
+                let (h, p, t) = (a.hsize[idx[0]], a.psize[idx[1]], a.threshold[idx[2]]);
+                let lvl = a.levels[idx[3]];
+                let ipt = a.items_per_thread[idx[4]];
+                SweepConfig {
+                    region: ApproxRegion::memo_out(h, p, t).level(lvl),
+                    lp: LaunchParams::new(ipt, bs),
+                    label: format!("h={h} p={p} thr={t} lvl={lvl} ipt={ipt}"),
+                }
+            }
+            GridKind::Iact(a) => {
+                let tpw = a.tables_per_warp[idx[0]];
+                let (ts, t) = (a.tsize[idx[1]], a.threshold[idx[2]]);
+                let lvl = a.levels[idx[3]];
+                let ipt = a.items_per_thread[idx[4]];
+                SweepConfig {
+                    region: ApproxRegion::memo_in(ts, t).tables_per_warp(tpw).level(lvl),
+                    lp: LaunchParams::new(ipt, bs),
+                    label: format!("ts={ts} thr={t} tpw={tpw} lvl={lvl} ipt={ipt}"),
+                }
+            }
+            GridKind::PerfoRate(a) => {
+                let m = a.skip_m[idx[1]];
+                let kind = if idx[0] == 0 {
+                    PerfoKind::Small { m }
+                } else {
+                    PerfoKind::Large { m }
+                };
+                let ipt = a.items_per_thread[idx[2]];
+                SweepConfig {
+                    region: ApproxRegion::perfo(kind),
+                    lp: LaunchParams::new(ipt, bs),
+                    label: format!("{} ipt={ipt}", space::perfo_label(kind)),
+                }
+            }
+            GridKind::PerfoBounds(a) => {
+                let fraction = a.fractions[idx[1]];
+                let kind = if idx[0] == 0 {
+                    PerfoKind::Ini { fraction }
+                } else {
+                    PerfoKind::Fini { fraction }
+                };
+                SweepConfig {
+                    region: ApproxRegion::perfo(kind),
+                    lp: LaunchParams::new(1, bs),
+                    label: format!("{} ipt=1", space::perfo_label(kind)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpac_apps::blackscholes::Blackscholes;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_sizes_cover_the_sweep_plan() {
+        let bench = Blackscholes::default();
+        for device in DeviceSpec::evaluation_platforms() {
+            for scale in [Scale::Quick, Scale::Full] {
+                let grids = Grid::grids_for(&bench, &device, scale);
+                let total: usize = grids.iter().map(|g| g.size()).sum();
+                assert_eq!(total, space::plan(&bench, &device, scale).len());
+            }
+        }
+    }
+
+    #[test]
+    fn built_configs_match_sweep_labels() {
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        let planned: HashSet<String> = space::plan(&bench, &device, Scale::Quick)
+            .into_iter()
+            .map(|c| c.label)
+            .collect();
+        for grid in Grid::grids_for(&bench, &device, Scale::Quick) {
+            // Exhaustively enumerate the grid through its index interface.
+            let mut idx = vec![0usize; grid.axis_count()];
+            loop {
+                let cfg = grid.build(&idx);
+                assert!(
+                    planned.contains(&cfg.label),
+                    "grid built a config the sweep never plans: {}",
+                    cfg.label
+                );
+                cfg.region.validate().expect("grid configs validate");
+                // Odometer increment.
+                let mut axis = idx.len();
+                loop {
+                    if axis == 0 {
+                        break;
+                    }
+                    axis -= 1;
+                    idx[axis] += 1;
+                    if idx[axis] < grid.axis_len(axis) {
+                        break;
+                    }
+                    idx[axis] = 0;
+                }
+                if idx.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn techniques_present() {
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        let grids = Grid::grids_for(&bench, &device, Scale::Quick);
+        let names: Vec<&str> = grids.iter().map(|g| g.technique()).collect();
+        assert!(names.contains(&"TAF"));
+        assert!(names.contains(&"iACT"));
+        assert_eq!(names.iter().filter(|n| **n == "Perfo").count(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hpac-tuner — quality-constrained autotuning over the HPAC stack
+//!
+//! The paper's harness answers "what does the speedup/error cloud look
+//! like?" by exhaustive sweep — 57k+ configurations (Table 2). This crate
+//! answers the production question instead: *"give me the fastest
+//! configuration with at most X% error on this device, quickly, and
+//! remember it."*
+//!
+//! ```ignore
+//! let tuner = Tuner::new().with_cache(TuningCache::new(TuningCache::default_dir()));
+//! let plan = tuner.tune(&bench, &DeviceSpec::v100(), QualityBound::percent(5.0));
+//! let report = plan.execute(&bench, &DeviceSpec::v100())?;
+//! ```
+//!
+//! * [`pareto`] — the incremental Pareto frontier over (speedup, error)
+//!   with dominance pruning: the whole tradeoff curve, not one point;
+//! * [`grid`] — indexable per-technique grids over the harness's exposed
+//!   Table 2 axes;
+//! * [`search`] — adaptive strategies (coordinate descent, successive
+//!   halving over grid resolution, random baseline) that evaluate orders
+//!   of magnitude fewer configurations than `Scale::Full`, in parallel;
+//! * [`plan`] — [`QualityBound`] in, re-executable [`TunedPlan`] out;
+//! * [`cache`] — the persistent JSON tuning cache keyed by (benchmark,
+//!   device, bound), invalidated by device-spec fingerprint;
+//! * [`json`] — the hand-rolled JSON tree behind the cache (the schema is
+//!   flat and fully owned here, like the harness's CSV).
+
+pub mod cache;
+pub mod grid;
+pub mod json;
+pub mod pareto;
+pub mod plan;
+pub mod search;
+pub mod tuner;
+
+pub use cache::{device_fingerprint, TuningCache};
+pub use grid::Grid;
+pub use pareto::{ParetoFrontier, ParetoPoint};
+pub use plan::{ExecutionReport, QualityBound, TunedPlan};
+pub use search::SearchStrategy;
+pub use tuner::Tuner;

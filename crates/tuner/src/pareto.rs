@@ -1,0 +1,174 @@
+//! Incremental Pareto frontier over (speedup, QoI error).
+//!
+//! The offline harness inspects full speedup/error clouds (Fig 6's
+//! "highest speedup where error < 10%" query runs over every executed
+//! configuration). An online tuner cannot keep clouds around; it keeps only
+//! the non-dominated boundary — every point that is fastest for *some*
+//! error budget — and answers any quality bound from that curve.
+
+/// One non-dominated configuration on the speedup/error tradeoff curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Speedup over the accurate baseline.
+    pub speedup: f64,
+    /// QoI error in percent (MAPE × 100 or MCR × 100).
+    pub error_pct: f64,
+    /// "TAF", "iACT", or "Perfo".
+    pub technique: String,
+    /// Human-readable parameter description (`SweepConfig::label`).
+    pub config: String,
+    pub items_per_thread: usize,
+}
+
+impl ParetoPoint {
+    /// Strict Pareto dominance: at least as good on both objectives and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.speedup >= other.speedup
+            && self.error_pct <= other.error_pct
+            && (self.speedup > other.speedup || self.error_pct < other.error_pct)
+    }
+
+    fn same_coords(&self, other: &ParetoPoint) -> bool {
+        self.speedup == other.speedup && self.error_pct == other.error_pct
+    }
+}
+
+/// The frontier: a set of mutually non-dominated points, kept sorted by
+/// error (ascending — and therefore speedup ascending too).
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFrontier {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoFrontier {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a candidate. Returns `true` if the frontier changed; a
+    /// candidate dominated by (or coordinate-equal to) an existing point is
+    /// a no-op, and points with non-finite or non-positive coordinates are
+    /// rejected outright.
+    pub fn insert(&mut self, candidate: ParetoPoint) -> bool {
+        if !candidate.speedup.is_finite()
+            || !candidate.error_pct.is_finite()
+            || candidate.speedup <= 0.0
+            || candidate.error_pct < 0.0
+        {
+            return false;
+        }
+        if self
+            .points
+            .iter()
+            .any(|p| p.dominates(&candidate) || p.same_coords(&candidate))
+        {
+            return false;
+        }
+        self.points.retain(|p| !candidate.dominates(p));
+        let at = self
+            .points
+            .partition_point(|p| p.error_pct < candidate.error_pct);
+        self.points.insert(at, candidate);
+        true
+    }
+
+    /// The fastest point with error at or below `max_error_pct` — the
+    /// tuner's answer to "give me the fastest configuration with ≤ X% error".
+    pub fn best_under(&self, max_error_pct: f64) -> Option<&ParetoPoint> {
+        // Sorted by error ascending ⇒ speedup ascending: the last feasible
+        // point is the fastest feasible one.
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.error_pct <= max_error_pct)
+    }
+
+    /// Points in ascending error order.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(speedup: f64, error_pct: f64) -> ParetoPoint {
+        ParetoPoint {
+            speedup,
+            error_pct,
+            technique: "TAF".into(),
+            config: format!("s={speedup} e={error_pct}"),
+            items_per_thread: 8,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_non_dominated() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(pt(1.2, 1.0)));
+        assert!(f.insert(pt(2.0, 5.0)));
+        assert!(f.insert(pt(1.5, 2.0)));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn dominated_insert_is_noop() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(pt(2.0, 1.0)));
+        assert!(!f.insert(pt(1.5, 2.0)), "slower and less accurate");
+        assert!(!f.insert(pt(2.0, 1.0)), "exact duplicate");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dominating_insert_prunes() {
+        let mut f = ParetoFrontier::new();
+        f.insert(pt(1.2, 2.0));
+        f.insert(pt(1.5, 4.0));
+        assert!(f.insert(pt(2.0, 1.0)), "dominates both");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].speedup, 2.0);
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_rejected() {
+        let mut f = ParetoFrontier::new();
+        assert!(!f.insert(pt(f64::INFINITY, 1.0)));
+        assert!(!f.insert(pt(1.0, f64::INFINITY)));
+        assert!(!f.insert(pt(0.0, 1.0)));
+        assert!(!f.insert(pt(1.0, -0.5)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn best_under_picks_fastest_feasible() {
+        let mut f = ParetoFrontier::new();
+        f.insert(pt(1.2, 0.5));
+        f.insert(pt(1.8, 3.0));
+        f.insert(pt(3.0, 9.0));
+        assert_eq!(f.best_under(5.0).unwrap().speedup, 1.8);
+        assert_eq!(f.best_under(20.0).unwrap().speedup, 3.0);
+        assert_eq!(f.best_under(1.0).unwrap().speedup, 1.2);
+        assert!(f.best_under(0.1).is_none());
+    }
+
+    #[test]
+    fn frontier_sorted_by_error() {
+        let mut f = ParetoFrontier::new();
+        f.insert(pt(3.0, 9.0));
+        f.insert(pt(1.2, 0.5));
+        f.insert(pt(1.8, 3.0));
+        let errs: Vec<f64> = f.points().iter().map(|p| p.error_pct).collect();
+        assert_eq!(errs, vec![0.5, 3.0, 9.0]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Adaptive search strategies over the technique grids.
+//!
+//! `Scale::Full` sweeps evaluate every point of the Table 2 product (the
+//! paper ran 57k+ configurations). The strategies here walk the same grids
+//! while evaluating orders of magnitude fewer points:
+//!
+//! * [`SearchStrategy::Random`] — uniform sampling; the baseline every
+//!   adaptive method must beat.
+//! * [`SearchStrategy::CoordinateDescent`] — axis-wise hill climbing from
+//!   the grid midpoint with random restarts. The paper's axes are
+//!   individually monotone-ish (thresholds trade error for speed, psize
+//!   trades error for speed), which is exactly when coordinate descent
+//!   shines.
+//! * [`SearchStrategy::SuccessiveHalving`] — halving over *grid
+//!   resolution*: a coarse lattice is sampled, survivors seed a finer
+//!   lattice around themselves, and the stride halves each rung until the
+//!   native grid resolution is reached.
+//!
+//! Every evaluated point feeds the shared [`ParetoFrontier`], so the tuner
+//! keeps the whole tradeoff curve, not just the bound-feasible winner.
+
+use crate::grid::Grid;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::{Benchmark, LaunchParams};
+use hpac_core::region::ApproxRegion;
+use hpac_harness::runner::{self, Baseline};
+use hpac_harness::space::SweepConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// How the tuner walks a technique grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchStrategy {
+    /// Uniform random sampling of `samples` configurations per grid.
+    Random { samples: usize },
+    /// Axis-wise hill climbing: `restarts` starting points, each swept
+    /// axis-by-axis until a full sweep makes no move (at most `max_sweeps`).
+    CoordinateDescent { max_sweeps: usize, restarts: usize },
+    /// Coarse-to-fine lattice refinement: `population` random points on a
+    /// coarse lattice; each rung keeps the better half and halves the
+    /// lattice stride, for at most `rungs` rungs.
+    SuccessiveHalving { population: usize, rungs: usize },
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy::CoordinateDescent {
+            max_sweeps: 4,
+            restarts: 2,
+        }
+    }
+}
+
+/// One evaluated configuration, kept so a frontier point can be turned back
+/// into an executable plan.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    pub region: ApproxRegion,
+    pub lp: LaunchParams,
+    pub technique: &'static str,
+    pub speedup: f64,
+    pub error_pct: f64,
+}
+
+/// Budgeted, memoizing configuration evaluator shared by all grids of one
+/// tuning request.
+pub struct Evaluator<'a> {
+    bench: &'a dyn Benchmark,
+    spec: &'a DeviceSpec,
+    baseline: &'a Baseline,
+    budget: usize,
+    /// Fresh (non-memoized) configuration executions so far.
+    pub evaluations: usize,
+    pub frontier: ParetoFrontier,
+    /// label → outcome; `None` records a configuration rejected at launch.
+    seen: HashMap<String, Option<Evaluated>>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(
+        bench: &'a dyn Benchmark,
+        spec: &'a DeviceSpec,
+        baseline: &'a Baseline,
+        budget: usize,
+    ) -> Self {
+        Evaluator {
+            bench,
+            spec,
+            baseline,
+            budget,
+            evaluations: 0,
+            frontier: ParetoFrontier::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Evaluations left before the budget is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.budget.saturating_sub(self.evaluations)
+    }
+
+    /// Outcome of a previously evaluated configuration.
+    pub fn lookup(&self, label: &str) -> Option<&Evaluated> {
+        self.seen.get(label).and_then(|o| o.as_ref())
+    }
+
+    /// Evaluate a batch, running fresh configurations in parallel. Returns
+    /// one outcome per input configuration (memoized results included);
+    /// fresh work beyond the remaining budget is skipped and reported as
+    /// `None`.
+    pub fn eval_batch(&mut self, configs: &[SweepConfig]) -> Vec<Option<Evaluated>> {
+        let mut fresh: Vec<&SweepConfig> = Vec::new();
+        for cfg in configs {
+            if !self.seen.contains_key(&cfg.label)
+                && !fresh.iter().any(|f| f.label == cfg.label)
+                && fresh.len() < self.remaining()
+            {
+                fresh.push(cfg);
+            }
+        }
+        let (bench, spec, baseline) = (self.bench, self.spec, self.baseline);
+        let outcomes: Vec<Option<Evaluated>> = fresh
+            .par_iter()
+            .map(|cfg| {
+                runner::run_config(bench, spec, baseline, cfg)
+                    .ok()
+                    .map(|row| Evaluated {
+                        region: cfg.region,
+                        lp: cfg.lp,
+                        technique: cfg.region.technique_name(),
+                        speedup: row.speedup,
+                        error_pct: row.error_pct,
+                    })
+            })
+            .collect();
+        self.evaluations += fresh.len();
+        for (cfg, outcome) in fresh.iter().zip(outcomes) {
+            if let Some(ev) = &outcome {
+                self.frontier.insert(ParetoPoint {
+                    speedup: ev.speedup,
+                    error_pct: ev.error_pct,
+                    technique: ev.technique.to_string(),
+                    config: cfg.label.clone(),
+                    items_per_thread: ev.lp.items_per_thread,
+                });
+            }
+            self.seen.insert(cfg.label.clone(), outcome);
+        }
+        configs
+            .iter()
+            .map(|cfg| self.seen.get(&cfg.label).cloned().flatten())
+            .collect()
+    }
+}
+
+/// Candidate ordering under a quality bound: feasible beats infeasible,
+/// then faster, then more accurate.
+fn better(a: &Evaluated, b: &Evaluated, bound_pct: f64) -> bool {
+    let (fa, fb) = (a.error_pct <= bound_pct, b.error_pct <= bound_pct);
+    if fa != fb {
+        return fa;
+    }
+    if fa {
+        a.speedup > b.speedup || (a.speedup == b.speedup && a.error_pct < b.error_pct)
+    } else {
+        a.error_pct < b.error_pct || (a.error_pct == b.error_pct && a.speedup > b.speedup)
+    }
+}
+
+fn random_index(grid: &Grid, rng: &mut StdRng) -> Vec<usize> {
+    (0..grid.axis_count())
+        .map(|a| rng.gen_range(0..grid.axis_len(a)))
+        .collect()
+}
+
+/// Walk one grid with the given strategy, feeding the evaluator's frontier.
+pub fn search_grid(
+    grid: &Grid,
+    ev: &mut Evaluator<'_>,
+    strategy: &SearchStrategy,
+    bound_pct: f64,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match *strategy {
+        SearchStrategy::Random { samples } => {
+            let configs: Vec<SweepConfig> = (0..samples.min(grid.size()))
+                .map(|_| grid.build(&random_index(grid, &mut rng)))
+                .collect();
+            ev.eval_batch(&configs);
+        }
+        SearchStrategy::CoordinateDescent {
+            max_sweeps,
+            restarts,
+        } => {
+            for restart in 0..restarts.max(1) {
+                if ev.remaining() == 0 {
+                    return;
+                }
+                let start = if restart == 0 {
+                    (0..grid.axis_count())
+                        .map(|a| grid.axis_len(a) / 2)
+                        .collect()
+                } else {
+                    random_index(grid, &mut rng)
+                };
+                coordinate_descent(grid, ev, bound_pct, start, max_sweeps);
+            }
+        }
+        SearchStrategy::SuccessiveHalving { population, rungs } => {
+            successive_halving(grid, ev, bound_pct, population, rungs, &mut rng);
+        }
+    }
+}
+
+fn coordinate_descent(
+    grid: &Grid,
+    ev: &mut Evaluator<'_>,
+    bound_pct: f64,
+    mut idx: Vec<usize>,
+    max_sweeps: usize,
+) {
+    for _sweep in 0..max_sweeps {
+        let mut moved = false;
+        for axis in 0..grid.axis_count() {
+            if ev.remaining() == 0 {
+                return;
+            }
+            let candidates: Vec<SweepConfig> = (0..grid.axis_len(axis))
+                .map(|v| {
+                    let mut c = idx.clone();
+                    c[axis] = v;
+                    grid.build(&c)
+                })
+                .collect();
+            let outcomes = ev.eval_batch(&candidates);
+            let best = outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(v, o)| o.as_ref().map(|e| (v, e)))
+                .reduce(|acc, cur| {
+                    if better(cur.1, acc.1, bound_pct) {
+                        cur
+                    } else {
+                        acc
+                    }
+                });
+            if let Some((v, _)) = best {
+                if v != idx[axis] {
+                    idx[axis] = v;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+fn successive_halving(
+    grid: &Grid,
+    ev: &mut Evaluator<'_>,
+    bound_pct: f64,
+    population: usize,
+    rungs: usize,
+    rng: &mut StdRng,
+) {
+    // Initial lattice stride: a quarter of each axis (≥ 1).
+    let mut strides: Vec<usize> = (0..grid.axis_count())
+        .map(|a| (grid.axis_len(a) / 4).max(1))
+        .collect();
+    let snap = |idx: &mut [usize], strides: &[usize], grid: &Grid| {
+        for (a, v) in idx.iter_mut().enumerate() {
+            *v = (*v / strides[a]) * strides[a];
+            *v = (*v).min(grid.axis_len(a) - 1);
+        }
+    };
+    let mut pool: Vec<Vec<usize>> = (0..population.max(2))
+        .map(|_| {
+            let mut idx = random_index(grid, rng);
+            snap(&mut idx, &strides, grid);
+            idx
+        })
+        .collect();
+    let mut keep = population.max(2);
+    for _rung in 0..rungs.max(1) {
+        if ev.remaining() == 0 || pool.is_empty() {
+            return;
+        }
+        pool.sort();
+        pool.dedup();
+        let configs: Vec<SweepConfig> = pool.iter().map(|idx| grid.build(idx)).collect();
+        let outcomes = ev.eval_batch(&configs);
+        let mut ranked: Vec<(usize, &Evaluated)> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|e| (i, e)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            if better(a.1, b.1, bound_pct) {
+                std::cmp::Ordering::Less
+            } else if better(b.1, a.1, bound_pct) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        keep = (keep / 2).max(1);
+        let survivors: Vec<Vec<usize>> = ranked
+            .iter()
+            .take(keep)
+            .map(|(i, _)| pool[*i].clone())
+            .collect();
+        // Refine: halve the stride and surround each survivor with its
+        // single-axis neighbors on the finer lattice.
+        let mut next = survivors.clone();
+        for s in strides.iter_mut() {
+            *s = (*s / 2).max(1);
+        }
+        for idx in &survivors {
+            for axis in 0..grid.axis_count() {
+                for dir in [-1isize, 1] {
+                    let v = idx[axis] as isize + dir * strides[axis] as isize;
+                    if v >= 0 && (v as usize) < grid.axis_len(axis) {
+                        let mut n = idx.clone();
+                        n[axis] = v as usize;
+                        next.push(n);
+                    }
+                }
+            }
+        }
+        pool = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpac_apps::blackscholes::Blackscholes;
+    use hpac_harness::runner::select_baseline;
+    use hpac_harness::space::Scale;
+
+    fn tiny_bs() -> Blackscholes {
+        Blackscholes {
+            n_options: 2048,
+            distinct: 16,
+            run_len: 16,
+            seed: 1,
+        }
+    }
+
+    fn run_strategy_on(
+        bench: &dyn Benchmark,
+        strategy: SearchStrategy,
+        budget: usize,
+    ) -> (usize, ParetoFrontier) {
+        let spec = DeviceSpec::v100();
+        let baseline = select_baseline(bench, &spec);
+        let mut ev = Evaluator::new(bench, &spec, &baseline, budget);
+        for (i, grid) in Grid::grids_for(bench, &spec, Scale::Quick)
+            .iter()
+            .enumerate()
+        {
+            search_grid(grid, &mut ev, &strategy, 5.0, 42 + i as u64);
+        }
+        (ev.evaluations, ev.frontier)
+    }
+
+    #[test]
+    fn random_respects_budget_and_finds_points() {
+        let (evals, frontier) =
+            run_strategy_on(&tiny_bs(), SearchStrategy::Random { samples: 30 }, 50);
+        assert!(evals <= 50, "budget violated: {evals}");
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn coordinate_descent_finds_feasible_speedup() {
+        // Default-size Blackscholes: a >1x point under 5% error exists (the
+        // quick sweep tops out near 2x at 0% error).
+        let (evals, frontier) =
+            run_strategy_on(&Blackscholes::default(), SearchStrategy::default(), 400);
+        assert!(evals <= 400);
+        let best = frontier.best_under(5.0).expect("feasible point exists");
+        assert!(best.error_pct <= 5.0);
+        assert!(best.speedup > 1.0, "speedup {}", best.speedup);
+    }
+
+    #[test]
+    fn successive_halving_runs_within_budget() {
+        let (evals, frontier) = run_strategy_on(
+            &tiny_bs(),
+            SearchStrategy::SuccessiveHalving {
+                population: 8,
+                rungs: 3,
+            },
+            200,
+        );
+        assert!(evals <= 200);
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn evaluator_memoizes_repeated_configs() {
+        let bench = tiny_bs();
+        let spec = DeviceSpec::v100();
+        let baseline = select_baseline(&bench, &spec);
+        let mut ev = Evaluator::new(&bench, &spec, &baseline, 100);
+        let grid = &Grid::grids_for(&bench, &spec, Scale::Quick)[0];
+        let cfg = grid.build(&vec![0; grid.axis_count()]);
+        ev.eval_batch(std::slice::from_ref(&cfg));
+        assert_eq!(ev.evaluations, 1);
+        let again = ev.eval_batch(std::slice::from_ref(&cfg));
+        assert_eq!(ev.evaluations, 1, "memoized eval must not re-run");
+        assert!(again[0].is_some());
+        assert!(ev.lookup(&cfg.label).is_some());
+    }
+
+    #[test]
+    fn better_prefers_feasible_then_fast() {
+        let mk = |speedup, error_pct| Evaluated {
+            region: ApproxRegion::memo_out(1, 2, 0.5),
+            lp: LaunchParams::new(8, 256),
+            technique: "TAF",
+            speedup,
+            error_pct,
+        };
+        assert!(better(&mk(1.1, 2.0), &mk(9.0, 50.0), 5.0));
+        assert!(better(&mk(2.0, 2.0), &mk(1.5, 1.0), 5.0));
+        assert!(better(&mk(1.0, 10.0), &mk(2.0, 30.0), 5.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Autotuning quickstart: ask the tuner for the fastest Blackscholes
+//! configuration with at most 5% error on a V100, inspect the Pareto
+//! frontier it discovered, re-execute the plan, and watch the second
+//! request hit the persistent cache.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use gpu_sim::DeviceSpec;
+use hpac_offload::apps::blackscholes::Blackscholes;
+use hpac_offload::tuner::{QualityBound, Tuner, TuningCache};
+
+fn main() {
+    let bench = Blackscholes::default();
+    let device = DeviceSpec::v100();
+    let cache = TuningCache::new(TuningCache::default_dir());
+    let tuner = Tuner::new().with_cache(cache);
+    let bound = QualityBound::percent(5.0);
+
+    // First request: adaptive search over the Table 2 grids.
+    let plan = tuner.tune(&bench, &device, bound);
+    println!(
+        "tuned {} on {}: {} [{}] -> {:.2}x speedup at {:.3}% error",
+        plan.benchmark,
+        plan.device,
+        plan.technique,
+        plan.config,
+        plan.predicted_speedup,
+        plan.measured_error_pct,
+    );
+    println!(
+        "evaluated {} of {} configurations ({:.1}% of the full sweep), source: {}",
+        plan.evaluations,
+        plan.full_space,
+        plan.budget_fraction_used() * 100.0,
+        if plan.from_cache { "cache" } else { "search" },
+    );
+
+    println!("\nPareto frontier (error% -> speedup):");
+    for p in plan.frontier.points() {
+        println!(
+            "  {:>8.3}% -> {:>5.2}x  {} [{}]",
+            p.error_pct, p.speedup, p.technique, p.config
+        );
+    }
+
+    // The plan re-executes through the apps layer.
+    let report = plan.execute(&bench, &device).expect("plan executes");
+    println!(
+        "\nre-executed: {:.2}x speedup at {:.3}% error ({:.3} ms end-to-end)",
+        report.speedup,
+        report.error_pct,
+        report.end_to_end_seconds * 1e3,
+    );
+
+    // Second request: served from the persistent cache.
+    let warm = tuner.tune(&bench, &device, bound);
+    println!(
+        "\nsecond request served from cache: {} (config {})",
+        warm.from_cache, warm.config
+    );
+}

@@ -22,9 +22,7 @@ fn main() {
     );
 
     for spec in DeviceSpec::evaluation_platforms() {
-        let baseline = bench
-            .run(&spec, None, &LaunchParams::new(1, 128))
-            .unwrap();
+        let baseline = bench.run(&spec, None, &LaunchParams::new(1, 128)).unwrap();
         let base_s = baseline.end_to_end_seconds();
         println!(
             "{} ({} SMs): accurate end-to-end {:.3} ms",

@@ -50,7 +50,11 @@ fn main() {
             1,
         ),
         ("TAF h=2 p=32 t=0.9", ApproxRegion::memo_out(2, 32, 0.9), 8),
-        ("TAF h=5 p=512 t=1.5", ApproxRegion::memo_out(5, 512, 1.5), 8),
+        (
+            "TAF h=5 p=512 t=1.5",
+            ApproxRegion::memo_out(5, 512, 1.5),
+            8,
+        ),
         (
             "TAF h=2 p=32 t=0.9 level(warp)",
             ApproxRegion::memo_out(2, 32, 0.9).level(HierarchyLevel::Warp),

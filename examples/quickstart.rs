@@ -74,9 +74,18 @@ fn main() {
     let err = mape(&accurate.output, &approx.output) * 100.0;
     println!("device               : {}", spec.name);
     println!("items                : {n}");
-    println!("accurate kernel time : {:.3} ms (modeled)", base.seconds() * 1e3);
-    println!("approx   kernel time : {:.3} ms (modeled)", rec.seconds() * 1e3);
-    println!("speedup              : {:.2}x", base.seconds() / rec.seconds());
+    println!(
+        "accurate kernel time : {:.3} ms (modeled)",
+        base.seconds() * 1e3
+    );
+    println!(
+        "approx   kernel time : {:.3} ms (modeled)",
+        rec.seconds() * 1e3
+    );
+    println!(
+        "speedup              : {:.2}x",
+        base.seconds() / rec.seconds()
+    );
     println!(
         "approximated         : {:.1}% of region executions",
         rec.stats.approx_fraction() * 100.0

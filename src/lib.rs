@@ -7,11 +7,15 @@
 //!   perforation, hierarchical decision-making),
 //! * [`apps`] — the seven evaluated HPC proxy applications,
 //! * [`harness`] — the design-space-exploration harness and figure
-//!   generators.
+//!   generators,
+//! * [`tuner`] — the quality-constrained autotuner: Pareto frontiers,
+//!   adaptive search, and the persistent tuning cache.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/autotune.rs` for the tuner.
 
 pub use gpu_sim;
 pub use hpac_apps as apps;
 pub use hpac_core as core;
 pub use hpac_harness as harness;
+pub use hpac_tuner as tuner;

@@ -136,7 +136,11 @@ fn taf_not_slower_than_iact_on_heavy_kernels() {
         let iact = bench
             .run(
                 &spec,
-                Some(&ApproxRegion::memo_in(4, 0.5).tables_per_warp(16).level(level)),
+                Some(
+                    &ApproxRegion::memo_in(4, 0.5)
+                        .tables_per_warp(16)
+                        .level(level),
+                ),
                 &lp,
             )
             .unwrap();

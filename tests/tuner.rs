@@ -1,0 +1,181 @@
+//! Cross-crate tests of the autotuning subsystem: Pareto-frontier
+//! invariants (property-based) and end-to-end bound compliance on real
+//! applications.
+
+use gpu_sim::DeviceSpec;
+use hpac_offload::apps::blackscholes::Blackscholes;
+use hpac_offload::apps::kmeans::KMeans;
+use hpac_offload::harness::Scale;
+use hpac_offload::tuner::{ParetoFrontier, ParetoPoint, QualityBound, Tuner};
+use proptest::prelude::*;
+
+fn pt(speedup: f64, error_pct: f64) -> ParetoPoint {
+    ParetoPoint {
+        speedup,
+        error_pct,
+        technique: "TAF".into(),
+        config: format!("s={speedup} e={error_pct}"),
+        items_per_thread: 8,
+    }
+}
+
+fn coords(f: &ParetoFrontier) -> Vec<(u64, u64)> {
+    // Bit patterns make the set comparable without f64 equality pitfalls.
+    f.points()
+        .iter()
+        .map(|p| (p.speedup.to_bits(), p.error_pct.to_bits()))
+        .collect()
+}
+
+proptest! {
+    /// No frontier point ever dominates another.
+    #[test]
+    fn frontier_is_mutually_non_dominated(
+        points in prop::collection::vec((0.5f64..4.0, 0.0f64..20.0), 1..40),
+    ) {
+        let mut f = ParetoFrontier::new();
+        for (s, e) in &points {
+            f.insert(pt(*s, *e));
+        }
+        let ps = f.points();
+        for i in 0..ps.len() {
+            for j in 0..ps.len() {
+                if i != j {
+                    prop_assert!(
+                        !ps[i].dominates(&ps[j]),
+                        "{} dominates {}", ps[i].config, ps[j].config
+                    );
+                }
+            }
+        }
+    }
+
+    /// Inserting a point dominated by the frontier is a no-op.
+    #[test]
+    fn dominated_insert_is_noop(
+        points in prop::collection::vec((0.5f64..4.0, 0.0f64..20.0), 1..30),
+        pick in 0usize..30,
+        ds in 0.0f64..1.0,
+        de in 0.0f64..1.0,
+    ) {
+        let mut f = ParetoFrontier::new();
+        for (s, e) in &points {
+            f.insert(pt(*s, *e));
+        }
+        let anchor = &f.points()[pick % f.len()];
+        // Slower and less accurate than an existing point.
+        let dominated = pt(anchor.speedup - ds.max(1e-6), anchor.error_pct + de.max(1e-6));
+        let before = coords(&f);
+        prop_assert!(!f.insert(dominated));
+        prop_assert_eq!(coords(&f), before);
+    }
+
+    /// The frontier is invariant to insertion order.
+    #[test]
+    fn frontier_is_insertion_order_invariant(
+        points in prop::collection::vec((0.5f64..4.0, 0.0f64..20.0), 1..30),
+    ) {
+        let mut forward = ParetoFrontier::new();
+        for (s, e) in &points {
+            forward.insert(pt(*s, *e));
+        }
+        let mut reverse = ParetoFrontier::new();
+        for (s, e) in points.iter().rev() {
+            reverse.insert(pt(*s, *e));
+        }
+        // Interleaved: odd indices first, then even.
+        let mut interleaved = ParetoFrontier::new();
+        for (i, (s, e)) in points.iter().enumerate() {
+            if i % 2 == 1 {
+                interleaved.insert(pt(*s, *e));
+            }
+        }
+        for (i, (s, e)) in points.iter().enumerate() {
+            if i % 2 == 0 {
+                interleaved.insert(pt(*s, *e));
+            }
+        }
+        prop_assert_eq!(coords(&forward), coords(&reverse));
+        prop_assert_eq!(coords(&forward), coords(&interleaved));
+    }
+
+    /// best_under answers: feasible, and no frontier point both feasible
+    /// and faster.
+    #[test]
+    fn best_under_is_the_fastest_feasible(
+        points in prop::collection::vec((0.5f64..4.0, 0.0f64..20.0), 1..40),
+        bound in 0.5f64..15.0,
+    ) {
+        let mut f = ParetoFrontier::new();
+        for (s, e) in &points {
+            f.insert(pt(*s, *e));
+        }
+        match f.best_under(bound) {
+            Some(best) => {
+                prop_assert!(best.error_pct <= bound);
+                for p in f.points() {
+                    if p.error_pct <= bound {
+                        prop_assert!(p.speedup <= best.speedup);
+                    }
+                }
+            }
+            None => {
+                prop_assert!(f.points().iter().all(|p| p.error_pct > bound));
+            }
+        }
+    }
+}
+
+/// The tuner's plan respects the 5% quality bound on Blackscholes, and the
+/// re-executed plan reproduces the tuned numbers.
+#[test]
+fn blackscholes_plan_respects_bound() {
+    let bench = Blackscholes::default();
+    let spec = DeviceSpec::v100();
+    let tuner = Tuner::new().with_scale(Scale::Quick);
+    let plan = tuner.tune(&bench, &spec, QualityBound::percent(5.0));
+    assert!(plan.respects_bound(), "error {}", plan.measured_error_pct);
+    assert!(
+        plan.budget_fraction_used() < 0.10,
+        "evaluated {} of {}",
+        plan.evaluations,
+        plan.full_space
+    );
+    assert!(
+        plan.predicted_speedup > 1.0,
+        "blackscholes has feasible speedup"
+    );
+    let report = plan.execute(&bench, &spec).unwrap();
+    assert!(
+        report.error_pct <= 5.0,
+        "re-executed error {}",
+        report.error_pct
+    );
+}
+
+/// Same contract on K-Means (the MCR-metric, convergence-driven app) on the
+/// AMD device spec.
+#[test]
+fn kmeans_plan_respects_bound() {
+    let bench = KMeans {
+        n_points: 1024,
+        max_iters: 30,
+        ..KMeans::default()
+    };
+    let spec = DeviceSpec::mi250x();
+    let tuner = Tuner::new().with_scale(Scale::Quick);
+    let plan = tuner.tune(&bench, &spec, QualityBound::percent(5.0));
+    assert!(plan.respects_bound(), "error {}", plan.measured_error_pct);
+    assert!(
+        plan.budget_fraction_used() < 0.10,
+        "evaluated {} of {}",
+        plan.evaluations,
+        plan.full_space
+    );
+    let report = plan.execute(&bench, &spec).unwrap();
+    assert!(
+        report.error_pct <= 5.0 + 1e-9,
+        "re-executed error {}",
+        report.error_pct
+    );
+}
