@@ -15,8 +15,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec};
+use hpac_core::exec::{approx_block_tasks_opts, BlockTaskBody, ExecOptions};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_block_tasks, BlockTaskBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -123,7 +123,7 @@ impl BlockTaskBody for BinomialBody<'_> {
         buf.copy_from_slice(&self.options[task * OPTION_DIMS..(task + 1) * OPTION_DIMS]);
     }
 
-    fn accurate(&mut self, task: usize, out: &mut [f64]) {
+    fn compute(&self, task: usize, out: &mut [f64]) {
         let o = &self.options[task * OPTION_DIMS..(task + 1) * OPTION_DIMS];
         out[0] = price_american_put(o[0], o[1], o[2], o[3], o[4], self.tree_steps);
     }
@@ -155,11 +155,12 @@ impl Benchmark for BinomialOptions {
         true
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let options = self.generate();
         // "Items per thread" = options per block.
@@ -187,13 +188,14 @@ impl Benchmark for BinomialOptions {
         acc.transfer(spec, in_bytes, Direction::HostToDevice);
         acc.transfer(spec, out_bytes, Direction::DeviceToHost);
 
-        let rec = approx_block_tasks(
+        let rec = approx_block_tasks_opts(
             spec,
             self.n_options,
             block_size,
             launch_blocks,
             region,
             &mut body,
+            opts,
         )?;
         acc.kernel(&rec);
 

@@ -13,8 +13,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_parallel_for, RegionBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -118,7 +118,7 @@ impl RegionBody for BsBody<'_> {
         buf.copy_from_slice(&self.options[i * OPTION_DIMS..(i + 1) * OPTION_DIMS]);
     }
 
-    fn accurate(&mut self, i: usize, out: &mut [f64]) {
+    fn compute(&self, i: usize, out: &mut [f64]) {
         let o = &self.options[i * OPTION_DIMS..(i + 1) * OPTION_DIMS];
         out[0] = price_call(o[0], o[1], o[2], o[3], o[4]);
     }
@@ -146,11 +146,12 @@ impl Benchmark for Blackscholes {
         true
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let options = self.generate();
         let mut body = BsBody {
@@ -168,7 +169,7 @@ impl Benchmark for Blackscholes {
         acc.transfer(spec, in_bytes, Direction::HostToDevice);
         acc.transfer(spec, out_bytes, Direction::DeviceToHost);
 
-        let rec = approx_parallel_for(spec, &launch, region, &mut body)?;
+        let rec = approx_parallel_for_opts(spec, &launch, region, &mut body, opts)?;
         acc.kernel(&rec);
 
         Ok(acc.finish(QoI::Values(body.prices), None))

@@ -3,6 +3,7 @@
 
 use gpu_sim::transfer::{self, Direction};
 use gpu_sim::{CostProfile, DeviceSpec, KernelExec, KernelRecord, KernelStats, LaunchConfig};
+use hpac_core::exec::ExecOptions;
 use hpac_core::metrics;
 use hpac_core::region::{ApproxRegion, RegionError};
 
@@ -201,12 +202,26 @@ pub trait Benchmark: Send + Sync {
     }
 
     /// Execute the benchmark, approximating its designated kernel(s) with
-    /// `region` (or accurately when `None`).
+    /// `region` (or accurately when `None`), under default execution
+    /// options (the `HPAC_THREADS` environment override applies).
     fn run(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+    ) -> Result<AppResult, RegionError> {
+        self.run_opts(spec, region, lp, &ExecOptions::default())
+    }
+
+    /// [`Benchmark::run`] with explicit execution options — the executor
+    /// knob (sequential reference vs parallel blocks) and ablations flow
+    /// through here into every kernel launch of the application.
+    fn run_opts(
+        &self,
+        spec: &DeviceSpec,
+        region: Option<&ApproxRegion>,
+        lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError>;
 }
 

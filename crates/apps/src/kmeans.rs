@@ -15,8 +15,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_parallel_for, RegionBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,7 +115,7 @@ impl RegionBody for DistanceBody<'_> {
         buf[self.dims] = 100.0 * c as f64;
     }
 
-    fn accurate(&mut self, item: usize, out: &mut [f64]) {
+    fn compute(&self, item: usize, out: &mut [f64]) {
         let (c, p) = (item / self.n, item % self.n);
         let pt = &self.points[p * self.dims..(p + 1) * self.dims];
         let ctr = &self.centroids[c * self.dims..(c + 1) * self.dims];
@@ -163,11 +163,12 @@ impl Benchmark for KMeans {
         "MCR"
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let (points, init_centroids) = self.generate();
         let mut centroids = init_centroids;
@@ -196,16 +197,16 @@ impl Benchmark for KMeans {
                 dims: self.dims,
                 k: self.k,
             };
-            let rec = approx_parallel_for(spec, &launch, region, &mut body)?;
+            let rec = approx_parallel_for_opts(spec, &launch, region, &mut body, opts)?;
             acc.kernel(&rec);
 
             // Membership + convergence test (device-side in Rodinia).
             let mut changes = 0usize;
-            for i in 0..self.n_points {
+            for (i, slot) in assignment.iter_mut().enumerate() {
                 let a = argmin_stride(&distances, i, self.n_points, self.k);
-                if a != assignment[i] {
+                if a != *slot {
                     changes += 1;
-                    assignment[i] = a;
+                    *slot = a;
                 }
             }
 

@@ -19,8 +19,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_parallel_for, RegionBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -145,7 +145,7 @@ impl RegionBody for ForceBody<'_> {
         buf[4] = nb as f64 / NEIGHBORS as f64 + bx as f64 / (b * b * b);
     }
 
-    fn accurate(&mut self, item: usize, out: &mut [f64]) {
+    fn compute(&self, item: usize, out: &mut [f64]) {
         let (nb, i) = self.decode(item);
         let nbox = self.cfg.neighbor_box(self.cfg.box_of(i), nb);
         let a2 = 2.0 * self.cfg.alpha * self.cfg.alpha;
@@ -203,11 +203,12 @@ impl Benchmark for LavaMd {
         "LavaMD"
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let (pos, charge) = self.generate();
         let n = self.n_particles();
@@ -224,7 +225,7 @@ impl Benchmark for LavaMd {
             charge: &charge,
             contrib: &mut contrib,
         };
-        let rec = approx_parallel_for(spec, &launch, region, &mut body)?;
+        let rec = approx_parallel_for_opts(spec, &launch, region, &mut body, opts)?;
         acc.kernel(&rec);
 
         // Accurate reduction of the 27 neighbour contributions per particle,

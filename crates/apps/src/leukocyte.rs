@@ -21,8 +21,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_parallel_for, RegionBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -157,7 +157,7 @@ impl RegionBody for ImgvfBody<'_> {
         buf[2] = self.image[idx];
     }
 
-    fn accurate(&mut self, item: usize, out: &mut [f64]) {
+    fn compute(&self, item: usize, out: &mut [f64]) {
         let (cell, iter, pixel) = self.decode(item);
         let parity = iter % 2;
         let idx = cell * self.cfg.pixels_per_cell() + pixel;
@@ -171,6 +171,14 @@ impl RegionBody for ImgvfBody<'_> {
         let (cell, iter, pixel) = self.decode(item);
         let idx = cell * self.cfg.pixels_per_cell() + pixel;
         self.buf[1 - iter % 2][idx] = out[0];
+    }
+
+    /// Iteration `i+1` of a cell's in-kernel Jacobi sweep reads the field
+    /// iteration `i` stored — legal under `Schedule::BlockLocal` (one cell
+    /// per block), but it pins this body to the sequential reference
+    /// executor where stores commit inline.
+    fn depends_on_stores(&self) -> bool {
+        true
     }
 
     fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
@@ -189,11 +197,12 @@ impl Benchmark for Leukocyte {
         "Leukocyte"
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let (image, _) = self.generate();
         let mut acc = RunAccumulator::new();
@@ -214,7 +223,7 @@ impl Benchmark for Leukocyte {
         let n_items = self.n_cells * self.iterations * self.pixels_per_cell();
         let block_size = lp.block_size.min(self.pixels_per_cell() as u32);
         let launch = LaunchConfig::block_local(n_items, block_size, self.n_cells as u32);
-        let rec = approx_parallel_for(spec, &launch, region, &mut body)?;
+        let rec = approx_parallel_for_opts(spec, &launch, region, &mut body, opts)?;
         acc.kernel(&rec);
 
         // QoI: converged-field centroids (the tracked cell locations).

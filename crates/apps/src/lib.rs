@@ -3,7 +3,7 @@
 //! Each module implements one benchmark from the paper's Table 1 as a
 //! self-contained application on the `gpu-sim` substrate: input generation
 //! (seeded, deterministic), the kernels the paper approximates expressed as
-//! [`hpac_core::RegionBody`]/[`hpac_core::runtime::BlockTaskBody`] regions,
+//! [`hpac_core::RegionBody`]/[`hpac_core::exec::BlockTaskBody`] regions,
 //! the surrounding accurate computation, and the paper's quality-of-interest
 //! (QoI) extraction.
 //!

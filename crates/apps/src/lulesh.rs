@@ -22,8 +22,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_parallel_for, RegionBody};
 
 /// Configuration for the LULESH proxy.
 #[derive(Debug, Clone, Copy)]
@@ -105,7 +105,7 @@ fn stress_sign(c: usize, d: usize) -> f64 {
 /// Hourglass-mode sign for corner `c` (checkerboard pattern).
 fn hg_sign(c: usize) -> f64 {
     let o = CORNER_OFFS[c];
-    if (o[0] + o[1] + o[2]) % 2 == 0 {
+    if (o[0] + o[1] + o[2]).is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -200,8 +200,8 @@ impl Mesh {
     fn mean_corner_vel(&self, e: usize) -> [f64; 3] {
         let mut m = [0.0; 3];
         for &n in &self.corners[e] {
-            for d in 0..3 {
-                m[d] += self.vel[n][d];
+            for (d, md) in m.iter_mut().enumerate() {
+                *md += self.vel[n][d];
             }
         }
         for v in &mut m {
@@ -215,8 +215,8 @@ impl Mesh {
         let mut m = [0.0; 3];
         for (k, &n) in self.corners[e].iter().enumerate() {
             let s = hg_sign(k);
-            for d in 0..3 {
-                m[d] += s * self.vel[n][d];
+            for (d, md) in m.iter_mut().enumerate() {
+                *md += s * self.vel[n][d];
             }
         }
         for v in &mut m {
@@ -258,7 +258,7 @@ impl RegionBody for HgControlBody<'_> {
         buf[3] = self.mesh.delv[e] / self.mesh.vol0[e];
     }
 
-    fn accurate(&mut self, e: usize, out: &mut [f64]) {
+    fn compute(&self, e: usize, out: &mut [f64]) {
         let m = &self.mesh;
         let vol = m.volume[e];
         let dens = m.vol0[e] / vol.max(1e-12);
@@ -326,7 +326,7 @@ impl RegionBody for HgForceBody<'_> {
         buf[3] = hv[2];
     }
 
-    fn accurate(&mut self, e: usize, out: &mut [f64]) {
+    fn compute(&self, e: usize, out: &mut [f64]) {
         let coef = self.mesh.hg_coef[e];
         let hv = self.mesh.hg_mode_vel(e);
         let mv = self.mesh.mean_corner_vel(e);
@@ -369,7 +369,7 @@ impl RegionBody for StressBody<'_> {
         3
     }
 
-    fn accurate(&mut self, e: usize, out: &mut [f64]) {
+    fn compute(&self, e: usize, out: &mut [f64]) {
         let m = &self.mesh;
         let sig = m.pressure[e] + m.visc[e];
         let f = sig * self.area;
@@ -401,17 +401,17 @@ impl RegionBody for NodeBody<'_> {
         3
     }
 
-    fn accurate(&mut self, n: usize, out: &mut [f64]) {
+    fn compute(&self, n: usize, out: &mut [f64]) {
         let m = &self.mesh;
         let mut f = [0.0; 3];
         for &(e, corner) in &m.node_elems[n] {
-            for d in 0..3 {
+            for (d, fd) in f.iter_mut().enumerate() {
                 // Stress pushes corners outward; the hourglass/viscous
                 // damping force applies uniformly to the element's corners
                 // (a checkerboard application would cancel between adjacent
                 // elements on smooth fields and decouple the kernel from
                 // the QoI).
-                f[d] += m.stress_f[e][d] * stress_sign(corner, d) + m.hg_f[e][d];
+                *fd += m.stress_f[e][d] * stress_sign(corner, d) + m.hg_f[e][d];
             }
         }
         out.copy_from_slice(&f);
@@ -421,8 +421,8 @@ impl RegionBody for NodeBody<'_> {
         let m = &mut *self.mesh;
         m.force[n] = [out[0], out[1], out[2]];
         let inv_m = 1.0 / m.mass[n];
-        for d in 0..3 {
-            let a = out[d] * inv_m;
+        for (d, &o) in out.iter().enumerate() {
+            let a = o * inv_m;
             m.vel[n][d] += a * self.dt;
             m.pos[n][d] += m.vel[n][d] * self.dt;
         }
@@ -446,7 +446,7 @@ impl RegionBody for EosBody<'_> {
         4
     }
 
-    fn accurate(&mut self, e: usize, out: &mut [f64]) {
+    fn compute(&self, e: usize, out: &mut [f64]) {
         let m = &self.mesh;
         let vnew = m.elem_volume(e);
         let delv = vnew - m.volume[e];
@@ -485,11 +485,12 @@ impl Benchmark for Lulesh {
         "LULESH"
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let mut mesh = Mesh::new(self);
         let n_elems = mesh.n_elems;
@@ -516,13 +517,13 @@ impl Benchmark for Lulesh {
                     hgcoef: self.hgcoef,
                     dt: self.dt,
                 };
-                let rec = approx_parallel_for(spec, &elem_launch, region, &mut body)?;
+                let rec = approx_parallel_for_opts(spec, &elem_launch, region, &mut body, opts)?;
                 acc.kernel(&rec);
             }
             // 2. FB hourglass force (approximated).
             {
                 let mut body = HgForceBody { mesh: &mut mesh };
-                let rec = approx_parallel_for(spec, &elem_launch, region, &mut body)?;
+                let rec = approx_parallel_for_opts(spec, &elem_launch, region, &mut body, opts)?;
                 acc.kernel(&rec);
             }
             // 3. Stress force (accurate).
@@ -531,7 +532,7 @@ impl Benchmark for Lulesh {
                     mesh: &mut mesh,
                     area,
                 };
-                let rec = approx_parallel_for(spec, &elem_acc_launch, None, &mut body)?;
+                let rec = approx_parallel_for_opts(spec, &elem_acc_launch, None, &mut body, opts)?;
                 acc.kernel(&rec);
             }
             // 4. Node gather + integration (accurate).
@@ -540,13 +541,13 @@ impl Benchmark for Lulesh {
                     mesh: &mut mesh,
                     dt: self.dt,
                 };
-                let rec = approx_parallel_for(spec, &node_launch, None, &mut body)?;
+                let rec = approx_parallel_for_opts(spec, &node_launch, None, &mut body, opts)?;
                 acc.kernel(&rec);
             }
             // 5. EOS / volume update (accurate).
             {
                 let mut body = EosBody { mesh: &mut mesh };
-                let rec = approx_parallel_for(spec, &elem_acc_launch, None, &mut body)?;
+                let rec = approx_parallel_for_opts(spec, &elem_acc_launch, None, &mut body, opts)?;
                 acc.kernel(&rec);
             }
         }

@@ -20,8 +20,8 @@ use crate::common::{
 };
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
 use hpac_core::region::{ApproxRegion, RegionError};
-use hpac_core::runtime::{approx_parallel_for, RegionBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,7 +137,7 @@ impl RegionBody for SpmvBody<'_> {
         1
     }
 
-    fn accurate(&mut self, row: usize, out: &mut [f64]) {
+    fn compute(&self, row: usize, out: &mut [f64]) {
         let lo = self.matrix.row_ptr[row];
         let hi = self.matrix.row_ptr[row + 1];
         let mut sum = 0.0;
@@ -173,11 +173,12 @@ impl Benchmark for MiniFe {
         "MiniFE"
     }
 
-    fn run(
+    fn run_opts(
         &self,
         spec: &DeviceSpec,
         region: Option<&ApproxRegion>,
         lp: &LaunchParams,
+        opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
         let a = self.assemble();
         let b = self.rhs();
@@ -213,7 +214,7 @@ impl Benchmark for MiniFe {
                 q: &mut q,
                 avg_nnz,
             };
-            let rec = approx_parallel_for(spec, &launch, region, &mut body)?;
+            let rec = approx_parallel_for_opts(spec, &launch, region, &mut body, opts)?;
             acc.kernel(&rec);
 
             // Dot products and vector updates (accurate kernels).
@@ -246,14 +247,14 @@ impl Benchmark for MiniFe {
         // The paper's QoI is the *true* final residual of the produced
         // solution: ||b - A x||.
         let mut true_r = 0.0;
-        for i in 0..n {
+        for (i, &bi) in b.iter().enumerate().take(n) {
             let lo = a.row_ptr[i];
             let hi = a.row_ptr[i + 1];
             let mut ax = 0.0;
             for k in lo..hi {
                 ax += a.values[k] * x[a.col_idx[k]];
             }
-            let d = b[i] - ax;
+            let d = bi - ax;
             true_r += d * d;
         }
         let qoi = QoI::Values(vec![true_r.sqrt()]);

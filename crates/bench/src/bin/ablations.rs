@@ -44,7 +44,7 @@ fn main() {
     {
         use gpu_sim::LaunchConfig;
         use gpu_sim::{AccessPattern, CostProfile};
-        use hpac_core::runtime::{approx_parallel_for_opts, ExecOptions, RegionBody};
+        use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
         struct Body<'a> {
             opts: &'a [f64],
             out: Vec<f64>,
@@ -53,7 +53,7 @@ fn main() {
             fn out_dim(&self) -> usize {
                 1
             }
-            fn accurate(&mut self, i: usize, out: &mut [f64]) {
+            fn compute(&self, i: usize, out: &mut [f64]) {
                 let o = &self.opts[i * 5..(i + 1) * 5];
                 out[0] = hpac_apps::blackscholes::price_call(o[0], o[1], o[2], o[3], o[4]);
             }
@@ -81,6 +81,7 @@ fn main() {
             &mut body,
             &ExecOptions {
                 serialized_taf: true,
+                ..ExecOptions::default()
             },
         )
         .unwrap();

@@ -1,0 +1,184 @@
+//! Sweep-throughput benchmark: one quick-grid sweep per application under
+//! both kernel executors, timed wall-clock.
+//!
+//! Run with: `cargo run --release -p hpac-bench --bin sweepbench`
+//!
+//! Each sweep executes its configurations *serially*
+//! (`hpac_harness::runner::run_sweep_serial`), so the only parallelism in
+//! play is the staged pipeline's block executor — exactly the speedup the
+//! `ExecOptions::executor` knob buys on a multicore host. Results land in
+//! `BENCH_sweep.json`: per-app sequential/parallel wall-clock seconds and
+//! speedup, plus the aggregate.
+//!
+//! Flags: `--full` uses the paper's complete Table 2 grids;
+//! `HPAC_THREADS=<n>` pins the parallel executor's worker count.
+
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::Benchmark;
+use hpac_apps::{
+    binomial::BinomialOptions, blackscholes::Blackscholes, kmeans::KMeans, lavamd::LavaMd,
+    leukocyte::Leukocyte, lulesh::Lulesh, minife::MiniFe,
+};
+use hpac_core::exec::{ExecOptions, Executor};
+use hpac_harness::runner;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Laptop-scale configurations of all seven applications (Table 1 order) —
+/// the same sizes the `tune` driver exercises.
+fn suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Lulesh {
+            edge: 12,
+            steps: 8,
+            dt: 1e-4,
+            ..Lulesh::default()
+        }),
+        Box::new(Leukocyte {
+            n_cells: 8,
+            grid: 16,
+            iterations: 24,
+            ..Leukocyte::default()
+        }),
+        Box::new(BinomialOptions {
+            n_options: 1024,
+            tree_steps: 96,
+            ..BinomialOptions::default()
+        }),
+        Box::new(MiniFe {
+            nx: 10,
+            max_iters: 25,
+            ..MiniFe::default()
+        }),
+        Box::new(Blackscholes::default()),
+        Box::new(LavaMd {
+            boxes_per_dim: 4,
+            par_per_box: 16,
+            ..LavaMd::default()
+        }),
+        Box::new(KMeans {
+            n_points: 2048,
+            max_iters: 40,
+            ..KMeans::default()
+        }),
+    ]
+}
+
+struct AppTiming {
+    name: &'static str,
+    rows: usize,
+    seq_seconds: f64,
+    par_seconds: f64,
+}
+
+impl AppTiming {
+    fn speedup(&self) -> f64 {
+        self.seq_seconds / self.par_seconds
+    }
+}
+
+fn main() {
+    let scale = hpac_bench::scale_from_args();
+    let spec = DeviceSpec::v100();
+    let host_cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+
+    let seq_opts = ExecOptions {
+        executor: Executor::Sequential,
+        ..ExecOptions::default()
+    };
+    let par_opts = ExecOptions {
+        executor: Executor::ParallelBlocks,
+        ..ExecOptions::default()
+    };
+
+    println!("sweepbench: serial config sweeps, {host_cores}-core host, scale {scale:?}");
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>9}",
+        "benchmark", "configs", "seq [s]", "par [s]", "speedup"
+    );
+
+    let mut timings: Vec<AppTiming> = Vec::new();
+    for bench in suite() {
+        let t0 = Instant::now();
+        let seq = runner::run_sweep_serial(bench.as_ref(), &spec, scale, &seq_opts);
+        let seq_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let par = runner::run_sweep_serial(bench.as_ref(), &spec, scale, &par_opts);
+        let par_seconds = t1.elapsed().as_secs_f64();
+
+        // The executors must agree on what they computed, not just be fast.
+        assert_eq!(seq.rows.len(), par.rows.len(), "row count diverged");
+        for (a, b) in seq.rows.iter().zip(&par.rows) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(
+                a.speedup.to_bits(),
+                b.speedup.to_bits(),
+                "{}: modeled speedup diverged between executors for {}",
+                bench.name(),
+                a.config
+            );
+        }
+
+        let t = AppTiming {
+            name: bench.name(),
+            rows: seq.rows.len(),
+            seq_seconds,
+            par_seconds,
+        };
+        println!(
+            "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x",
+            t.name,
+            t.rows,
+            t.seq_seconds,
+            t.par_seconds,
+            t.speedup()
+        );
+        timings.push(t);
+    }
+
+    let total_seq: f64 = timings.iter().map(|t| t.seq_seconds).sum();
+    let total_par: f64 = timings.iter().map(|t| t.par_seconds).sum();
+    let overall = total_seq / total_par;
+    println!(
+        "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x",
+        "TOTAL",
+        timings.iter().map(|t| t.rows).sum::<usize>(),
+        total_seq,
+        total_par,
+        overall
+    );
+    if host_cores < 4 {
+        println!("note: host has {host_cores} cores; block-parallel speedup needs >= 4");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"device\": \"{}\",", spec.name);
+    let _ = writeln!(json, "  \"apps\": [");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"configs\": {}, \"sequential_seconds\": {:.6}, \
+             \"parallel_seconds\": {:.6}, \"speedup\": {:.4}}}{}",
+            t.name,
+            t.rows,
+            t.seq_seconds,
+            t.par_seconds,
+            t.speedup(),
+            comma
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_sequential_seconds\": {total_seq:.6},");
+    let _ = writeln!(json, "  \"total_parallel_seconds\": {total_par:.6},");
+    let _ = writeln!(json, "  \"speedup\": {overall:.4}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+}

@@ -86,8 +86,8 @@ fn main() {
     for device in DeviceSpec::evaluation_platforms() {
         println!("== {} ({}) ==", device.name, device.vendor);
         println!(
-            "{:<16} {:<9} {:<34} {:>8} {:>7} {:>6} {:>7}  {}",
-            "benchmark", "technique", "config", "speedup", "err%", "evals", "%full", "source"
+            "{:<16} {:<9} {:<34} {:>8} {:>7} {:>6} {:>7}  source",
+            "benchmark", "technique", "config", "speedup", "err%", "evals", "%full"
         );
         let mut speedups = Vec::new();
         for bench in suite() {

@@ -1,0 +1,297 @@
+//! The block-cooperative pipeline: one thread block computes one work item
+//! per grid-stride step (Binomial Options' one-block-per-option pattern),
+//! with block-scoped approximation decisions.
+//!
+//! Each block owns exactly one AC state (one TAF machine or one iACT
+//! table), and blocks grid-stride over disjoint task sets, so the same
+//! per-block decomposition that parallelizes the warp walker applies here:
+//! under [`Executor::ParallelBlocks`](crate::exec::Executor::ParallelBlocks)
+//! blocks run on scoped threads with buffered stores and fold back in block
+//! order, bit-identical to the sequential reference.
+
+use crate::exec::body::BlockTaskBody;
+use crate::exec::charge::StoreBuffer;
+use crate::exec::walk::{chunk_ranges, resolve_threads};
+use crate::exec::{ExecOptions, Executor};
+use crate::hierarchy::{self, HierarchyLevel};
+use crate::iact::IactPool;
+use crate::params::PerfoParams;
+use crate::perfo;
+use crate::region::{ApproxRegion, RegionError, Technique};
+use crate::shared_state;
+use crate::taf::TafPool;
+use gpu_sim::{
+    BlockAccumulator, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig, Schedule,
+};
+use rayon::prelude::*;
+
+/// Launch a block-cooperative kernel over `n_tasks` tasks with block-level
+/// approximation. Blocks grid-stride over tasks: block `b` handles tasks
+/// `b, b + n_blocks, ...`.
+pub fn approx_block_tasks(
+    spec: &DeviceSpec,
+    n_tasks: usize,
+    block_size: u32,
+    n_blocks: u32,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn BlockTaskBody,
+) -> Result<KernelRecord, RegionError> {
+    approx_block_tasks_opts(
+        spec,
+        n_tasks,
+        block_size,
+        n_blocks,
+        region,
+        body,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`approx_block_tasks`] with explicit execution options.
+pub fn approx_block_tasks_opts(
+    spec: &DeviceSpec,
+    n_tasks: usize,
+    block_size: u32,
+    n_blocks: u32,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn BlockTaskBody,
+    opts: &ExecOptions,
+) -> Result<KernelRecord, RegionError> {
+    if n_tasks == 0 {
+        return Err(RegionError::Invalid("no tasks to execute".into()));
+    }
+    let launch = LaunchConfig {
+        n_items: n_tasks,
+        block_size,
+        n_blocks,
+        schedule: Schedule::GridStride,
+    };
+    let out_dim = body.out_dim();
+    let in_dim = body.in_dim();
+
+    let (shared, technique) = match region {
+        None => (0, None),
+        Some(r) => {
+            r.validate()?;
+            match r.technique {
+                Technique::Taf(_) | Technique::Iact(_) if r.level != HierarchyLevel::Block => {
+                    return Err(RegionError::Invalid(
+                        "block-cooperative tasks require level(block) decisions".into(),
+                    ));
+                }
+                _ => {}
+            }
+            if let Technique::Iact(_) = r.technique {
+                if in_dim == 0 {
+                    return Err(RegionError::Invalid(
+                        "iACT requires the task to declare inputs".into(),
+                    ));
+                }
+            }
+            // Block-task AC state: a single state machine / table per block.
+            let bytes = match &r.technique {
+                Technique::Taf(p) => {
+                    p.hsize * shared_state::AC_SCALAR_BYTES
+                        + out_dim * shared_state::AC_SCALAR_BYTES
+                        + shared_state::TAF_CONTROL_BYTES
+                }
+                Technique::Iact(p) => shared_state::iact_block_bytes(1, 1, p, in_dim, out_dim),
+                Technique::Perfo(_) => 4,
+            } + shared_state::block_vote_bytes(HierarchyLevel::Block);
+            (bytes, Some(r.technique))
+        }
+    };
+
+    let mut exec = KernelExec::new(spec, &launch, shared)?;
+    let walk = TaskWalk {
+        spec: *spec,
+        n_tasks,
+        n_blocks,
+        warps: launch.warps_per_block(spec),
+        steps: n_tasks.div_ceil(n_blocks as usize),
+        in_dim,
+        out_dim,
+        technique,
+    };
+
+    let threads = resolve_threads(opts);
+    let parallel = matches!(opts.executor, Executor::ParallelBlocks) && threads > 1 && n_blocks > 1;
+
+    if parallel {
+        let shared_body: &dyn BlockTaskBody = body;
+        let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> = chunk_ranges(n_blocks, threads)
+            .par_iter()
+            .map(|&(lo, hi)| {
+                (lo..hi)
+                    .map(|b| {
+                        let mut buffer = StoreBuffer::new(walk.out_dim);
+                        let acc =
+                            walk.run_block(shared_body, b, &mut |task, out| buffer.push(task, out));
+                        (acc, buffer)
+                    })
+                    .collect()
+            })
+            .collect();
+        for (b, (acc, stores)) in per_chunk.into_iter().flatten().enumerate() {
+            exec.merge_block(b as u32, acc);
+            stores.replay(|task, out| body.store(task, out));
+        }
+    } else {
+        // Tasks are independent by the pattern's contract (one block, one
+        // work item), so the reference executor may buffer each block's
+        // stores and commit them as soon as the block finishes.
+        for b in 0..n_blocks {
+            let mut buffer = StoreBuffer::new(walk.out_dim);
+            let acc = walk.run_block(body, b, &mut |task, out| buffer.push(task, out));
+            exec.merge_block(b, acc);
+            buffer.replay(|task, out| body.store(task, out));
+        }
+    }
+    Ok(exec.finish())
+}
+
+/// The geometry and technique of one block-task launch.
+struct TaskWalk {
+    spec: DeviceSpec,
+    n_tasks: usize,
+    n_blocks: u32,
+    warps: u32,
+    steps: usize,
+    in_dim: usize,
+    out_dim: usize,
+    technique: Option<Technique>,
+}
+
+/// One block's AC state.
+enum TaskState {
+    Accurate,
+    Perfo(PerfoParams),
+    Taf(TafPool),
+    Iact(IactPool),
+}
+
+enum Path {
+    Accurate,
+    Approx,
+    Skip,
+}
+
+impl TaskWalk {
+    fn block_state(&self) -> TaskState {
+        match self.technique {
+            None => TaskState::Accurate,
+            Some(Technique::Perfo(p)) => TaskState::Perfo(p),
+            Some(Technique::Taf(p)) => TaskState::Taf(TafPool::new(1, self.out_dim, p)),
+            Some(Technique::Iact(p)) => {
+                TaskState::Iact(IactPool::new(1, self.in_dim, self.out_dim, p))
+            }
+        }
+    }
+
+    /// Walk block `b` over its grid-stride tasks, emitting stores through
+    /// `store` and returning the block's accounting.
+    fn run_block(
+        &self,
+        body: &dyn BlockTaskBody,
+        b: u32,
+        store: &mut dyn FnMut(usize, &[f64]),
+    ) -> BlockAccumulator {
+        let mut acc = BlockAccumulator::new(self.warps as usize, self.spec.costs);
+        let mut state = self.block_state();
+        let mut out = vec![0.0; self.out_dim];
+        let mut query = vec![0.0; self.in_dim];
+
+        let decision_overhead = if self.technique.is_some() {
+            hierarchy::decision_cost(HierarchyLevel::Block)
+        } else {
+            CostProfile::new()
+        };
+
+        for s in 0..self.steps {
+            let task = b as usize + s * self.n_blocks as usize;
+            if task >= self.n_tasks {
+                continue;
+            }
+
+            // Decide the block's path.
+            let (path, iact_slot) = match &state {
+                TaskState::Accurate => (Path::Accurate, None),
+                TaskState::Perfo(p) => {
+                    if perfo::should_skip(p, task, s) {
+                        (Path::Skip, None)
+                    } else {
+                        (Path::Accurate, None)
+                    }
+                }
+                TaskState::Taf(pool) => {
+                    if pool.wants_approx(0) {
+                        (Path::Approx, None)
+                    } else {
+                        (Path::Accurate, None)
+                    }
+                }
+                TaskState::Iact(pool) => {
+                    body.inputs(task, &mut query);
+                    let probe = pool.probe(0, &query);
+                    if probe.hit(pool.params().threshold) {
+                        (Path::Approx, probe.slot)
+                    } else {
+                        (Path::Accurate, None)
+                    }
+                }
+            };
+
+            match path {
+                Path::Skip => {
+                    for w in 0..self.warps {
+                        acc.charge(w, &CostProfile::new().flops(1.0));
+                    }
+                    acc.note_step(0, 0, 1, false);
+                }
+                Path::Approx => {
+                    match &mut state {
+                        TaskState::Taf(pool) => {
+                            out.copy_from_slice(pool.last(0));
+                            pool.note_approx(0);
+                        }
+                        TaskState::Iact(pool) => {
+                            let slot = iact_slot.expect("iACT hit must carry a slot");
+                            out.copy_from_slice(pool.output(0, slot));
+                            pool.touch(0, slot);
+                        }
+                        _ => unreachable!("only memoizing techniques approximate"),
+                    }
+                    store(task, &out);
+                    let c = decision_overhead
+                        .add(&body.input_cost(&self.spec))
+                        .add(&body.store_cost(&self.spec));
+                    for w in 0..self.warps {
+                        acc.charge(w, &c);
+                    }
+                    acc.note_step(0, 1, 0, false);
+                }
+                Path::Accurate => {
+                    body.compute(task, &mut out);
+                    store(task, &out);
+                    match &mut state {
+                        TaskState::Taf(pool) => pool.observe(0, &out),
+                        TaskState::Iact(pool) => {
+                            body.inputs(task, &mut query);
+                            pool.insert(0, &query, &out);
+                        }
+                        _ => {}
+                    }
+                    let mut c = decision_overhead.add(&body.task_cost_per_warp(&self.spec));
+                    if let TaskState::Iact(pool) = &state {
+                        c = c.add(&pool.search_cost()).add(&pool.write_phase_cost(1));
+                    }
+                    for w in 0..self.warps {
+                        acc.charge(w, &c);
+                    }
+                    acc.note_step(1, 0, 0, false);
+                }
+            }
+        }
+        acc
+    }
+}

@@ -1,0 +1,188 @@
+//! The body contracts the pipeline executes: [`RegionBody`] for grid-stride
+//! parallel-for regions and [`BlockTaskBody`] for block-cooperative tasks.
+//!
+//! Both traits split a region into a *pure* compute path (`compute`, taking
+//! `&self`, so independent blocks can run it from separate threads) and a
+//! mutable commit path (`store`, taking `&mut self`). Under the
+//! [`Executor::Sequential`](crate::exec::Executor::Sequential) reference
+//! executor stores are applied inline as the walk proceeds; under
+//! [`Executor::ParallelBlocks`](crate::exec::Executor::ParallelBlocks) each
+//! block buffers its stores in a private [`StoreBuffer`] and the runtime
+//! replays them in block order after all blocks finish — the same call
+//! sequence the sequential walk produces, so outputs are bit-identical.
+
+use crate::exec::charge::StoreBuffer;
+use gpu_sim::{AccessPattern, CostProfile, DeviceSpec};
+
+/// The annotated code region: the accurate path, its declared inputs and
+/// outputs, and its cost.
+///
+/// This is the Rust rendering of what HPAC's Clang pass captures as a
+/// closure. `compute` evaluates the region for one item; `store` commits an
+/// output vector (both paths call it — the approximate path passes the
+/// memoized vector). Cost methods describe one warp-step's work so the
+/// engine can model kernel time:
+///
+/// * [`RegionBody::accurate_cost`] — the full accurate body including its
+///   global reads and writes;
+/// * [`RegionBody::input_cost`] — only the gathering of the declared region
+///   inputs (paid by iACT's activation on every invocation);
+/// * [`RegionBody::store_cost`] — only the write of the region outputs
+///   (paid by the approximate path when it stores a memoized value).
+pub trait RegionBody: Sync {
+    /// Scalars in the declared region input (`in(...)` clause). 0 means the
+    /// region declares no inputs (TAF and perforation need none).
+    fn in_dim(&self) -> usize {
+        0
+    }
+
+    /// Scalars in the declared region output (`out(...)` clause).
+    fn out_dim(&self) -> usize;
+
+    /// Gather the region inputs of item `i` into `buf` (`len == in_dim`).
+    fn inputs(&self, _i: usize, _buf: &mut [f64]) {
+        unreachable!("region declares no inputs; implement `inputs` to use iACT");
+    }
+
+    /// Execute the accurate path for item `i`, writing outputs to `out`.
+    ///
+    /// Must depend only on `i` and on state that existed before the kernel
+    /// launch — not on what `store` wrote for other items — unless
+    /// [`RegionBody::depends_on_stores`] says otherwise.
+    fn compute(&self, i: usize, out: &mut [f64]);
+
+    /// Commit the region outputs for item `i`.
+    fn store(&mut self, i: usize, out: &[f64]);
+
+    /// Does `compute` for one item read state written by `store` for
+    /// another item of the *same launch*? Legal only within a block under
+    /// [`gpu_sim::Schedule::BlockLocal`] (e.g. Leukocyte's in-kernel Jacobi
+    /// sweeps); such bodies always execute on the sequential reference
+    /// executor, because buffered stores would not be visible in time.
+    fn depends_on_stores(&self) -> bool {
+        false
+    }
+
+    /// Cost of one warp executing the accurate path with `lanes` active
+    /// lanes (including the body's own global traffic).
+    fn accurate_cost(&self, lanes: u32, spec: &DeviceSpec) -> CostProfile;
+
+    /// Cost of gathering the declared inputs for `lanes` lanes.
+    fn input_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_read(lanes, (self.in_dim() * 8) as u32, AccessPattern::Coalesced)
+    }
+
+    /// Cost of writing the declared outputs for `lanes` lanes.
+    fn store_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_write(
+            lanes,
+            (self.out_dim() * 8) as u32,
+            AccessPattern::Coalesced,
+        )
+    }
+
+    /// `Some(reason)` when iACT cannot apply (the paper's MiniFE case:
+    /// "hpac-offload only supports computations with uniform input sizes").
+    fn iact_incompatibility(&self) -> Option<String> {
+        None
+    }
+}
+
+/// A cooperative block task: one thread block computes one work item
+/// (Binomial Options' one-block-per-option pattern). Decisions are
+/// block-scoped — there is one AC state per block and the whole block takes
+/// one path.
+pub trait BlockTaskBody: Sync {
+    /// Scalars in the declared task input.
+    fn in_dim(&self) -> usize {
+        0
+    }
+
+    /// Scalars in the declared task output.
+    fn out_dim(&self) -> usize;
+
+    /// Gather the task inputs.
+    fn inputs(&self, _task: usize, _buf: &mut [f64]) {
+        unreachable!("task declares no inputs; implement `inputs` to use iACT");
+    }
+
+    /// Execute the accurate task, writing outputs to `out`.
+    ///
+    /// Tasks are independent by the pattern's contract: `compute` must
+    /// depend only on `task` and pre-launch state, never on what `store`
+    /// committed for another task of the same launch.
+    fn compute(&self, task: usize, out: &mut [f64]);
+
+    /// Commit the task outputs.
+    fn store(&mut self, task: usize, out: &[f64]);
+
+    /// Per-warp cost of one accurate task execution (the block's warps
+    /// cooperate; each warp is charged this profile).
+    fn task_cost_per_warp(&self, spec: &DeviceSpec) -> CostProfile;
+
+    /// Cost of gathering task inputs (one warp does it).
+    fn input_cost(&self, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_read(1, (self.in_dim() * 8) as u32, AccessPattern::Broadcast)
+    }
+
+    /// Cost of writing task outputs (one warp does it).
+    fn store_cost(&self, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new().global_write(1, (self.out_dim() * 8) as u32, AccessPattern::Broadcast)
+    }
+}
+
+/// How the walker reaches the body: the sequential executor commits stores
+/// inline through `&mut`; the parallel executor shares the body immutably
+/// and buffers stores per block.
+pub(crate) trait BodyAccess {
+    fn body(&self) -> &dyn RegionBody;
+    fn compute(&mut self, i: usize, out: &mut [f64]);
+    fn store(&mut self, i: usize, out: &[f64]);
+}
+
+pub(crate) struct InlineAccess<'a> {
+    pub body: &'a mut dyn RegionBody,
+}
+
+impl BodyAccess for InlineAccess<'_> {
+    fn body(&self) -> &dyn RegionBody {
+        self.body
+    }
+
+    fn compute(&mut self, i: usize, out: &mut [f64]) {
+        self.body.compute(i, out);
+    }
+
+    fn store(&mut self, i: usize, out: &[f64]) {
+        self.body.store(i, out);
+    }
+}
+
+pub(crate) struct BufferedAccess<'a> {
+    pub body: &'a dyn RegionBody,
+    pub buffer: StoreBuffer,
+}
+
+impl<'a> BufferedAccess<'a> {
+    pub fn new(body: &'a dyn RegionBody) -> Self {
+        let out_dim = body.out_dim();
+        BufferedAccess {
+            body,
+            buffer: StoreBuffer::new(out_dim),
+        }
+    }
+}
+
+impl BodyAccess for BufferedAccess<'_> {
+    fn body(&self) -> &dyn RegionBody {
+        self.body
+    }
+
+    fn compute(&mut self, i: usize, out: &mut [f64]) {
+        self.body.compute(i, out);
+    }
+
+    fn store(&mut self, i: usize, out: &[f64]) {
+        self.buffer.push(i, out);
+    }
+}

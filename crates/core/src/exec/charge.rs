@@ -1,0 +1,121 @@
+//! Charging and accounting for the execution pipeline.
+//!
+//! Two concerns live here, shared by every technique policy:
+//!
+//! * **Cost commitment** — [`MixedStep`] assembles the cost of a warp step
+//!   whose lanes split between the accurate and approximate paths (the
+//!   divergence-serialization charge of the GPU model) and commits it,
+//!   together with the step statistics, to the block's
+//!   [`BlockAccumulator`].
+//! * **Output accounting** — [`StoreBuffer`] records one block's `store`
+//!   calls when the parallel executor cannot commit them inline, preserving
+//!   the exact call order of the sequential walk for later replay.
+
+use gpu_sim::{BlockAccumulator, CostProfile};
+
+/// Cost of one warp step with a mix of accurate and approximate lanes.
+///
+/// `base` is always charged (activation, decisions, table searches);
+/// `accurate` is added when at least one lane ran the accurate path, and
+/// `approx` when at least one lane took the approximate path — a warp that
+/// serializes both paths pays both, which is exactly the divergence penalty
+/// hierarchy-level decisions exist to avoid.
+pub(crate) struct MixedStep {
+    pub base: CostProfile,
+    pub accurate: CostProfile,
+    pub approx: CostProfile,
+}
+
+impl MixedStep {
+    /// Charge the assembled cost to `warp` and record the step outcome.
+    pub fn commit(self, acc: &mut BlockAccumulator, warp: u32, n_acc: u32, n_apx: u32) {
+        let mut cost = self.base;
+        if n_acc > 0 {
+            cost = cost.add(&self.accurate);
+        }
+        if n_apx > 0 {
+            cost = cost.add(&self.approx);
+        }
+        acc.charge(warp, &cost);
+        acc.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
+    }
+}
+
+/// One block's buffered `store` calls: items in walk order with their
+/// output vectors, replayed through `&mut` body access after the parallel
+/// phase joins.
+#[derive(Debug, Default)]
+pub struct StoreBuffer {
+    out_dim: usize,
+    items: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl StoreBuffer {
+    pub fn new(out_dim: usize) -> Self {
+        StoreBuffer {
+            out_dim,
+            items: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, item: usize, out: &[f64]) {
+        debug_assert_eq!(out.len(), self.out_dim);
+        self.items.push(item);
+        self.data.extend_from_slice(out);
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Apply the buffered stores in the order they were recorded.
+    pub fn replay(&self, mut store: impl FnMut(usize, &[f64])) {
+        for (k, &item) in self.items.iter().enumerate() {
+            store(item, &self.data[k * self.out_dim..(k + 1) * self.out_dim]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn store_buffer_replays_in_order() {
+        let mut buf = StoreBuffer::new(2);
+        buf.push(5, &[1.0, 2.0]);
+        buf.push(3, &[3.0, 4.0]);
+        assert_eq!(buf.len(), 2);
+        let mut seen = Vec::new();
+        buf.replay(|item, out| seen.push((item, out.to_vec())));
+        assert_eq!(seen, vec![(5, vec![1.0, 2.0]), (3, vec![3.0, 4.0])]);
+    }
+
+    #[test]
+    fn mixed_step_charges_only_taken_paths() {
+        let spec = DeviceSpec::v100();
+        let step = || MixedStep {
+            base: CostProfile::new().flops(1.0),
+            accurate: CostProfile::new().flops(10.0),
+            approx: CostProfile::new().flops(100.0),
+        };
+
+        let mut only_acc = BlockAccumulator::new(1, spec.costs);
+        step().commit(&mut only_acc, 0, 2, 0);
+        let mut both = BlockAccumulator::new(1, spec.costs);
+        step().commit(&mut both, 0, 2, 2);
+
+        assert!(both.stats().total_issue_cycles > only_acc.stats().total_issue_cycles);
+        assert_eq!(only_acc.stats().divergent_steps, 0);
+        assert_eq!(both.stats().divergent_steps, 1);
+        assert_eq!(both.stats().accurate_lanes, 2);
+        assert_eq!(both.stats().approx_lanes, 2);
+    }
+}

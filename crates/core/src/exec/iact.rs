@@ -1,0 +1,158 @@
+//! iACT policy: input memoization with warp-shared tables and two-phase
+//! (read/write) access.
+//!
+//! Tables belong to warps (`tables_per_warp` per warp), and a block's warps
+//! are private to it, so each block gets a pool of
+//! `warps_per_block × tables_per_warp` tables and behaves exactly like the
+//! former launch-wide pool.
+
+use crate::exec::body::{BodyAccess, RegionBody};
+use crate::exec::charge::MixedStep;
+use crate::exec::policy::{TechniquePolicy, WarpCtx};
+use crate::exec::walk::{Geom, Lane};
+use crate::hierarchy::{self, HierarchyLevel, WarpDecision};
+use crate::iact::IactPool;
+use crate::params::IactParams;
+use gpu_sim::BlockAccumulator;
+
+pub(crate) struct IactPolicy {
+    pub params: IactParams,
+    pub level: HierarchyLevel,
+    pub tables_per_warp: u32,
+    pub lanes_per_table: u32,
+}
+
+pub(crate) struct IactState {
+    pool: IactPool,
+    // Per-lane scratch of the current warp, refreshed by `lane_vote` in the
+    // read phase and consumed by `warp_step`.
+    in_cache: Vec<f64>,
+    out_cache: Vec<f64>,
+    probe_slot: Vec<Option<usize>>,
+    probe_dist: Vec<f64>,
+    acc_mask: Vec<bool>,
+    out: Vec<f64>,
+}
+
+impl IactPolicy {
+    /// Table of `lane` within its warp's table group, relative to the
+    /// block's pool.
+    fn table(&self, warp_in_block: u32, lane: &Lane) -> usize {
+        (warp_in_block * self.tables_per_warp + lane.lane / self.lanes_per_table) as usize
+    }
+}
+
+impl TechniquePolicy for IactPolicy {
+    type State = IactState;
+
+    fn level(&self) -> HierarchyLevel {
+        self.level
+    }
+
+    fn block_state(&self, geom: &Geom, _block: u32, body: &dyn RegionBody) -> IactState {
+        let ws = geom.spec.warp_size as usize;
+        let in_dim = body.in_dim();
+        let out_dim = body.out_dim();
+        let n_tables = geom.warps_per_block as usize * self.tables_per_warp as usize;
+        IactState {
+            pool: IactPool::new(n_tables, in_dim, out_dim, self.params),
+            in_cache: vec![0.0; ws * in_dim],
+            out_cache: vec![0.0; ws * out_dim],
+            probe_slot: vec![None; ws],
+            probe_dist: vec![f64::INFINITY; ws],
+            acc_mask: vec![false; ws],
+            out: vec![0.0; out_dim],
+        }
+    }
+
+    /// Read phase for one lane: gather the region inputs, probe the lane's
+    /// table, cache the probe, vote on the hit.
+    fn lane_vote(&self, st: &mut IactState, k: usize, l: &Lane, body: &dyn RegionBody) -> bool {
+        let in_dim = st.pool.in_dim();
+        let t = self.table(l.warp, l);
+        body.inputs(l.item, &mut st.in_cache[k * in_dim..(k + 1) * in_dim]);
+        let probe = st.pool.probe(t, &st.in_cache[k * in_dim..(k + 1) * in_dim]);
+        st.probe_slot[k] = probe.slot;
+        st.probe_dist[k] = probe.distance;
+        probe.hit(self.params.threshold)
+    }
+
+    fn warp_step<A: BodyAccess>(
+        &self,
+        st: &mut IactState,
+        ctx: &WarpCtx<'_>,
+        access: &mut A,
+        acc: &mut BlockAccumulator,
+    ) {
+        let in_dim = st.pool.in_dim();
+        let out_dim = st.out.len();
+
+        let mut n_acc = 0u32;
+        let mut n_apx = 0u32;
+        for (k, l) in ctx.lanes.iter().enumerate() {
+            let t = self.table(ctx.warp, l);
+            let approx = match ctx.decision {
+                WarpDecision::PerLane => ctx.votes[k],
+                // A forced lane returns its *nearest* entry even beyond the
+                // threshold; with an empty table it must execute accurately.
+                WarpDecision::GroupApprox => st.probe_slot[k].is_some(),
+                WarpDecision::GroupAccurate => false,
+            };
+            st.acc_mask[k] = !approx;
+            if approx {
+                let slot = st.probe_slot[k].expect("approx lane must have an entry");
+                st.out.copy_from_slice(st.pool.output(t, slot));
+                st.pool.touch(t, slot);
+                access.store(l.item, &st.out);
+                n_apx += 1;
+            } else {
+                access.compute(l.item, &mut st.out);
+                st.out_cache[k * out_dim..(k + 1) * out_dim].copy_from_slice(&st.out);
+                access.store(l.item, &st.out);
+                n_acc += 1;
+            }
+        }
+
+        // Write phase: one writer per table — the accurate lane whose
+        // inputs were farthest from any cached entry (most novel).
+        if n_acc > 0 {
+            for table_off in 0..self.tables_per_warp {
+                let t = (ctx.warp * self.tables_per_warp + table_off) as usize;
+                let mut writer: Option<usize> = None;
+                let mut best = f64::NEG_INFINITY;
+                for (k, l) in ctx.lanes.iter().enumerate() {
+                    if !st.acc_mask[k] || (l.lane / self.lanes_per_table) != table_off {
+                        continue;
+                    }
+                    let d = st.probe_dist[k];
+                    if d > best {
+                        best = d;
+                        writer = Some(k);
+                    }
+                }
+                if let Some(k) = writer {
+                    st.pool.insert(
+                        t,
+                        &st.in_cache[k * in_dim..(k + 1) * in_dim],
+                        &st.out_cache[k * out_dim..(k + 1) * out_dim],
+                    );
+                }
+            }
+        }
+
+        let body = access.body();
+        MixedStep {
+            base: hierarchy::decision_cost(self.level)
+                .add(&body.input_cost(ctx.lanes.len() as u32, ctx.spec))
+                .add(&st.pool.search_cost()),
+            accurate: body
+                .accurate_cost(n_acc.max(1), ctx.spec)
+                .add(&st.pool.write_phase_cost(self.lanes_per_table)),
+            approx: st
+                .pool
+                .hit_cost()
+                .add(&body.store_cost(n_apx.max(1), ctx.spec)),
+        }
+        .commit(acc, ctx.warp, n_acc, n_apx);
+    }
+}

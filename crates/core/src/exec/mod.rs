@@ -1,0 +1,202 @@
+//! The staged execution pipeline: functional execution of approximated
+//! kernels on the `gpu-sim` substrate.
+//!
+//! The pipeline has three stages, one module each:
+//!
+//! 1. **Dispatch** (this module) — validate the region against the body,
+//!    size the shared-memory AC state, and select the
+//!    [`TechniquePolicy`](policy) for the region's technique.
+//! 2. **Walk** ([`walk`]) — the single grid walker iterates block →
+//!    grid-stride step → warp → lane, resolves hierarchy-level votes, and
+//!    calls the policy's hooks; [`taf`], [`iact`], and [`perfo`] each
+//!    implement the policy trait in ~150 lines of pure decision logic.
+//! 3. **Accounting** ([`charge`], plus `gpu_sim::BlockAccumulator`) —
+//!    every block accumulates costs, statistics, and stores privately, and
+//!    the results fold back in block order, which is what lets
+//!    [`Executor::ParallelBlocks`] run blocks on scoped threads with
+//!    results bit-identical to the [`Executor::Sequential`] reference.
+//!
+//! [`approx_parallel_for`] is the analogue of launching an annotated
+//! `#pragma omp target teams distribute parallel for` region;
+//! [`approx_block_tasks`] is the cooperative-block variant used by
+//! benchmarks like Binomial Options where one block computes one work item
+//! and decisions are block-scoped.
+
+mod block_tasks;
+pub mod body;
+pub mod charge;
+mod iact;
+mod perfo;
+mod policy;
+mod taf;
+mod walk;
+
+pub use block_tasks::{approx_block_tasks, approx_block_tasks_opts};
+pub use body::{BlockTaskBody, RegionBody};
+pub use charge::StoreBuffer;
+
+use crate::region::{ApproxRegion, RegionError, Technique};
+use crate::shared_state;
+use gpu_sim::{DeviceSpec, KernelRecord, LaunchConfig, Schedule};
+
+/// Which executor drives the block walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// The reference executor: blocks walked one after another on the
+    /// calling thread, stores committed inline.
+    #[default]
+    Sequential,
+    /// Independent blocks fan out over scoped threads (the rayon shim);
+    /// each block buffers its stores and accounting privately and the
+    /// results fold back in block order, bit-identical to [`Executor::Sequential`].
+    ParallelBlocks,
+}
+
+/// The `HPAC_THREADS` environment override, parsed once for both the
+/// executor choice and the worker count: `None` when unset or not a
+/// number, `Some(n)` otherwise (`0` means "all available cores").
+pub(crate) fn env_threads() -> Option<usize> {
+    std::env::var("HPAC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+}
+
+impl Executor {
+    /// The executor selected by the `HPAC_THREADS` environment override:
+    /// unset, unparseable, or `1` keeps the sequential reference; a worker
+    /// count (or `0` for all cores) enables [`Executor::ParallelBlocks`].
+    pub fn from_env() -> Executor {
+        match env_threads() {
+            Some(1) | None => Executor::Sequential,
+            Some(_) => Executor::ParallelBlocks,
+        }
+    }
+}
+
+/// Execution options beyond the pragma surface: ablation switches and the
+/// executor knob.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Run the "semantically equivalent" serialized GPU TAF of Fig 4(c)
+    /// instead of the relaxed-locality algorithm of Fig 4(d): one state
+    /// machine per warp consumes the warp's items in loop order, and every
+    /// lane's region execution serializes.
+    pub serialized_taf: bool,
+    /// Which executor drives the block walk. `Default::default()` consults
+    /// the `HPAC_THREADS` environment override (see [`Executor::from_env`]).
+    pub executor: Executor,
+    /// Worker threads for [`Executor::ParallelBlocks`]. `None` falls back
+    /// to `HPAC_THREADS`, then to every available core.
+    pub threads: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            serialized_taf: false,
+            executor: Executor::from_env(),
+            threads: None,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options pinned to one executor (threads still resolved from the
+    /// environment / core count).
+    pub fn with_executor(executor: Executor) -> Self {
+        ExecOptions {
+            executor,
+            ..ExecOptions::default()
+        }
+    }
+}
+
+/// Launch an approximated grid-stride parallel-for.
+///
+/// `region = None` runs the accurate baseline with identical bookkeeping.
+pub fn approx_parallel_for(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    approx_parallel_for_opts(spec, launch, region, body, &ExecOptions::default())
+}
+
+/// [`approx_parallel_for`] with explicit execution options.
+pub fn approx_parallel_for_opts(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn RegionBody,
+    opts: &ExecOptions,
+) -> Result<KernelRecord, RegionError> {
+    let Some(region) = region else {
+        return walk::execute(spec, launch, 0, &policy::AccuratePolicy, body, opts, 0);
+    };
+    region.validate()?;
+    if body.out_dim() == 0 {
+        return Err(RegionError::Invalid("region must declare outputs".into()));
+    }
+    if let Technique::Iact(_) = region.technique {
+        if let Some(reason) = body.iact_incompatibility() {
+            return Err(RegionError::Invalid(format!(
+                "iACT not applicable to this region: {reason}"
+            )));
+        }
+        if body.in_dim() == 0 {
+            return Err(RegionError::Invalid(
+                "iACT requires the region to declare inputs".into(),
+            ));
+        }
+    }
+
+    let shared =
+        shared_state::region_block_bytes(region, spec, launch, body.in_dim(), body.out_dim())
+            .map_err(RegionError::Invalid)?;
+
+    match region.technique {
+        Technique::Perfo(params) => {
+            let (lo, hi) = crate::perfo::bounds(&params, launch.n_items);
+            if lo >= hi {
+                return Err(RegionError::Invalid(
+                    "perforation drops the entire iteration space".into(),
+                ));
+            }
+            // ini/fini are loop-bound changes: the kernel iterates only
+            // [lo, hi).
+            let eff = LaunchConfig {
+                n_items: hi - lo,
+                block_size: launch.block_size,
+                n_blocks: launch.n_blocks,
+                schedule: Schedule::GridStride,
+            };
+            let policy = perfo::PerfoPolicy { params };
+            walk::execute(spec, &eff, shared, &policy, body, opts, lo)
+        }
+        Technique::Taf(params) => {
+            if opts.serialized_taf {
+                let policy = taf::SerializedTafPolicy { params };
+                walk::execute(spec, launch, shared, &policy, body, opts, 0)
+            } else {
+                let policy = taf::TafPolicy {
+                    params,
+                    level: region.level,
+                };
+                walk::execute(spec, launch, shared, &policy, body, opts, 0)
+            }
+        }
+        Technique::Iact(params) => {
+            let tables_per_warp = params
+                .effective_tables_per_warp(spec.warp_size)
+                .map_err(RegionError::Invalid)?;
+            let policy = iact::IactPolicy {
+                params,
+                level: region.level,
+                tables_per_warp,
+                lanes_per_table: spec.warp_size / tables_per_warp,
+            };
+            walk::execute(spec, launch, shared, &policy, body, opts, 0)
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Perforation policy: data-independent skip patterns (small/large, herded
+//! or not); ini/fini are applied as loop-bound changes before the walk ever
+//! starts (see the dispatch in [`exec`](crate::exec)).
+
+use crate::exec::body::{BodyAccess, RegionBody};
+use crate::exec::policy::{TechniquePolicy, WarpCtx};
+use crate::exec::walk::{Geom, Lane};
+use crate::params::PerfoParams;
+use crate::perfo;
+use gpu_sim::{BlockAccumulator, CostProfile};
+
+pub(crate) struct PerfoPolicy {
+    pub params: PerfoParams,
+}
+
+pub(crate) struct PerfoState {
+    out: Vec<f64>,
+}
+
+impl TechniquePolicy for PerfoPolicy {
+    type State = PerfoState;
+
+    fn block_state(&self, _geom: &Geom, _block: u32, body: &dyn RegionBody) -> PerfoState {
+        PerfoState {
+            out: vec![0.0; body.out_dim()],
+        }
+    }
+
+    // Perforation is data-independent: there is no activation criterion to
+    // vote on (the region validates `level(thread)` only).
+    fn lane_vote(&self, _st: &mut PerfoState, _k: usize, _l: &Lane, _b: &dyn RegionBody) -> bool {
+        false
+    }
+
+    fn warp_step<A: BodyAccess>(
+        &self,
+        st: &mut PerfoState,
+        ctx: &WarpCtx<'_>,
+        access: &mut A,
+        acc: &mut BlockAccumulator,
+    ) {
+        let mut n_exec = 0u32;
+        let mut n_skip = 0u32;
+        for l in ctx.lanes {
+            if perfo::should_skip(&self.params, l.item, l.item / ctx.spec.warp_size as usize) {
+                n_skip += 1;
+            } else {
+                access.compute(l.item, &mut st.out);
+                access.store(l.item, &st.out);
+                n_exec += 1;
+            }
+        }
+        // Encounter-counter bookkeeping.
+        let mut cost = CostProfile::new().flops(1.0);
+        if n_exec > 0 {
+            // Non-herded patterns leave the warp's memory span fragmented
+            // and the SIMD issue width unchanged, so the warp pays the cost
+            // of its full active width; herded skips are all-or-nothing so
+            // this is equivalent there.
+            let effective = if self.params.herded {
+                n_exec
+            } else {
+                ctx.lanes.len() as u32
+            };
+            cost = cost.add(&access.body().accurate_cost(effective, ctx.spec));
+        }
+        acc.charge(ctx.warp, &cost);
+        acc.note_step(n_exec, 0, n_skip, n_exec > 0 && n_skip > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The pluggable technique layer: one trait, one impl per approximation
+//! technique.
+//!
+//! A [`TechniquePolicy`] owns everything technique-specific — activation
+//! criteria, per-block approximation state, path execution, cost assembly —
+//! while the walker in [`walk`](crate::exec::walk) owns everything
+//! geometric. Adding a fourth technique to the runtime means implementing
+//! this trait (~150 lines of pure decision logic) and adding one dispatch
+//! arm in [`exec`](crate::exec); the grid walk, the hierarchy voting
+//! machinery, the executors, and the accounting are inherited unchanged.
+//!
+//! Policies must be block-decomposable: `block_state` returns state private
+//! to one block (per-thread TAF machines, per-warp iACT tables, …), which
+//! is what lets the parallel executor run blocks on separate threads
+//! without locks and still match the sequential walk bit for bit.
+
+use crate::exec::body::{BodyAccess, RegionBody};
+use crate::exec::walk::{Geom, Lane};
+use crate::hierarchy::{HierarchyLevel, WarpDecision};
+use gpu_sim::{BlockAccumulator, DeviceSpec};
+
+/// One warp step, as handed to a policy: position, active lanes, their
+/// activation votes, and the resolved hierarchy decision. Policies never
+/// see the block index: all block-scoped state lives in their `State`,
+/// which is what keeps blocks decomposable.
+pub(crate) struct WarpCtx<'a> {
+    pub spec: &'a DeviceSpec,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Active lanes of this step, in lane order.
+    pub lanes: &'a [Lane],
+    /// Activation votes of `lanes`, filled by `lane_vote` in the same order.
+    pub votes: &'a [bool],
+    /// The resolved group decision for this step.
+    pub decision: WarpDecision,
+}
+
+/// One approximation technique, as seen by the grid walker.
+pub(crate) trait TechniquePolicy: Sync {
+    /// Per-block approximation state (pools, scratch). Created fresh for
+    /// every block; must not alias state of any other block.
+    type State;
+
+    /// The `level(...)` clause this region runs at. `Block` makes the
+    /// walker pre-tally votes across the whole block.
+    fn level(&self) -> HierarchyLevel {
+        HierarchyLevel::Thread
+    }
+
+    /// Fresh state for `block`.
+    fn block_state(&self, geom: &Geom, block: u32, body: &dyn RegionBody) -> Self::State;
+
+    /// Activation vote of lane `k` of the current warp. Called in lane
+    /// order immediately before [`TechniquePolicy::warp_step`] for the same
+    /// warp, so policies may cache per-lane scratch (e.g. iACT probes)
+    /// indexed by `k`.
+    fn lane_vote(&self, st: &mut Self::State, k: usize, lane: &Lane, body: &dyn RegionBody)
+        -> bool;
+
+    /// Execute one warp step: resolve each lane against `ctx.decision`,
+    /// run the accurate or approximate path through `access`, and charge
+    /// the step's cost and statistics to `acc`.
+    fn warp_step<A: BodyAccess>(
+        &self,
+        st: &mut Self::State,
+        ctx: &WarpCtx<'_>,
+        access: &mut A,
+        acc: &mut BlockAccumulator,
+    );
+}
+
+/// The non-approximated baseline: every lane takes the accurate path.
+pub(crate) struct AccuratePolicy;
+
+/// Scratch for one block of the accurate baseline.
+pub(crate) struct AccurateState {
+    out: Vec<f64>,
+}
+
+impl TechniquePolicy for AccuratePolicy {
+    type State = AccurateState;
+
+    fn block_state(&self, _geom: &Geom, _block: u32, body: &dyn RegionBody) -> AccurateState {
+        AccurateState {
+            out: vec![0.0; body.out_dim()],
+        }
+    }
+
+    fn lane_vote(
+        &self,
+        _st: &mut AccurateState,
+        _k: usize,
+        _l: &Lane,
+        _b: &dyn RegionBody,
+    ) -> bool {
+        false
+    }
+
+    fn warp_step<A: BodyAccess>(
+        &self,
+        st: &mut AccurateState,
+        ctx: &WarpCtx<'_>,
+        access: &mut A,
+        acc: &mut BlockAccumulator,
+    ) {
+        for l in ctx.lanes {
+            access.compute(l.item, &mut st.out);
+            access.store(l.item, &st.out);
+        }
+        let cost = access
+            .body()
+            .accurate_cost(ctx.lanes.len() as u32, ctx.spec);
+        acc.charge(ctx.warp, &cost);
+        acc.note_step(ctx.lanes.len() as u32, 0, 0, false);
+    }
+}

@@ -1,0 +1,176 @@
+//! TAF policies: the relaxed-locality per-thread design (Fig 4d) and the
+//! serialized "semantically equivalent" per-warp ablation (Fig 4c).
+//!
+//! Per-thread TAF state machines are indexed by thread id; a block's
+//! threads form a contiguous disjoint id range, so each block gets a
+//! private pool of `block_size` machines and decisions match the former
+//! launch-wide pool exactly.
+
+use crate::exec::body::{BodyAccess, RegionBody};
+use crate::exec::charge::MixedStep;
+use crate::exec::policy::{TechniquePolicy, WarpCtx};
+use crate::exec::walk::{Geom, Lane};
+use crate::hierarchy::{self, HierarchyLevel, WarpDecision};
+use crate::params::TafParams;
+use crate::taf::TafPool;
+use gpu_sim::BlockAccumulator;
+
+pub(crate) struct TafPolicy {
+    pub params: TafParams,
+    pub level: HierarchyLevel,
+}
+
+pub(crate) struct TafState {
+    /// One state machine per thread of this block, indexed by
+    /// `tid - block_base`.
+    pool: TafPool,
+    block_base: usize,
+    out: Vec<f64>,
+}
+
+impl TafState {
+    fn local(&self, lane: &Lane) -> usize {
+        lane.tid - self.block_base
+    }
+}
+
+impl TechniquePolicy for TafPolicy {
+    type State = TafState;
+
+    fn level(&self) -> HierarchyLevel {
+        self.level
+    }
+
+    fn block_state(&self, geom: &Geom, block: u32, body: &dyn RegionBody) -> TafState {
+        let out_dim = body.out_dim();
+        TafState {
+            pool: TafPool::new(geom.launch.block_size as usize, out_dim, self.params),
+            block_base: block as usize * geom.launch.block_size as usize,
+            out: vec![0.0; out_dim],
+        }
+    }
+
+    fn lane_vote(&self, st: &mut TafState, _k: usize, l: &Lane, _b: &dyn RegionBody) -> bool {
+        st.pool.wants_approx(st.local(l))
+    }
+
+    fn warp_step<A: BodyAccess>(
+        &self,
+        st: &mut TafState,
+        ctx: &WarpCtx<'_>,
+        access: &mut A,
+        acc: &mut BlockAccumulator,
+    ) {
+        let mut n_acc = 0u32;
+        let mut n_apx = 0u32;
+        for (k, l) in ctx.lanes.iter().enumerate() {
+            let s = st.local(l);
+            let approx = match ctx.decision {
+                WarpDecision::PerLane => ctx.votes[k],
+                WarpDecision::GroupApprox => st.pool.can_approximate(s),
+                WarpDecision::GroupAccurate => false,
+            };
+            if approx {
+                st.out.copy_from_slice(st.pool.last(s));
+                access.store(l.item, &st.out);
+                st.pool.note_approx(s);
+                n_apx += 1;
+            } else {
+                access.compute(l.item, &mut st.out);
+                access.store(l.item, &st.out);
+                st.pool.observe(s, &st.out);
+                n_acc += 1;
+            }
+        }
+
+        let body = access.body();
+        MixedStep {
+            base: st
+                .pool
+                .activation_cost()
+                .add(&hierarchy::decision_cost(self.level)),
+            accurate: body
+                .accurate_cost(n_acc.max(1), ctx.spec)
+                .add(&st.pool.observe_cost()),
+            approx: st
+                .pool
+                .predict_cost()
+                .add(&body.store_cost(n_apx.max(1), ctx.spec)),
+        }
+        .commit(acc, ctx.warp, n_acc, n_apx);
+    }
+}
+
+/// Fig 4(c) ablation: the "semantically equivalent" GPU TAF. One state
+/// machine per warp consumes the warp's items in loop order (spatial
+/// locality preserved), and lanes execute one at a time while the rest of
+/// the warp idles — the serialization the relaxed-locality design removes.
+pub(crate) struct SerializedTafPolicy {
+    pub params: TafParams,
+}
+
+pub(crate) struct SerializedTafState {
+    /// One machine per warp of this block, indexed by the warp's index
+    /// within the block.
+    pool: TafPool,
+    out: Vec<f64>,
+}
+
+impl TechniquePolicy for SerializedTafPolicy {
+    type State = SerializedTafState;
+
+    fn block_state(&self, geom: &Geom, _block: u32, body: &dyn RegionBody) -> SerializedTafState {
+        let out_dim = body.out_dim();
+        SerializedTafState {
+            pool: TafPool::new(geom.warps_per_block as usize, out_dim, self.params),
+            out: vec![0.0; out_dim],
+        }
+    }
+
+    // The serialized ablation makes no group decisions: each warp's state
+    // machine is consulted lane by lane inside `warp_step`.
+    fn lane_vote(
+        &self,
+        _st: &mut SerializedTafState,
+        _k: usize,
+        _l: &Lane,
+        _b: &dyn RegionBody,
+    ) -> bool {
+        false
+    }
+
+    fn warp_step<A: BodyAccess>(
+        &self,
+        st: &mut SerializedTafState,
+        ctx: &WarpCtx<'_>,
+        access: &mut A,
+        acc: &mut BlockAccumulator,
+    ) {
+        let wid = ctx.warp as usize;
+        let mut n_acc = 0u32;
+        let mut n_apx = 0u32;
+        let mut cost = st.pool.activation_cost();
+        for l in ctx.lanes {
+            if st.pool.wants_approx(wid) {
+                st.out.copy_from_slice(st.pool.last(wid));
+                access.store(l.item, &st.out);
+                st.pool.note_approx(wid);
+                n_apx += 1;
+                cost = cost
+                    .add(&st.pool.predict_cost())
+                    .add(&access.body().store_cost(1, ctx.spec));
+            } else {
+                access.compute(l.item, &mut st.out);
+                access.store(l.item, &st.out);
+                st.pool.observe(wid, &st.out);
+                n_acc += 1;
+                // Serialized: each lane pays a full single-lane body.
+                cost = cost
+                    .add(&access.body().accurate_cost(1, ctx.spec))
+                    .add(&st.pool.observe_cost());
+            }
+        }
+        acc.charge(ctx.warp, &cost);
+        acc.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The one grid walker: block → grid-stride step → warp → lane iteration,
+//! shared by every technique policy.
+//!
+//! The former `runtime.rs` carried four copies of this walk (accurate,
+//! perforation, TAF, iACT), each with its own lane-buffer plumbing. Here the
+//! walk exists exactly once: [`walk_block`] drives one block through all of
+//! its steps and warps, delegates every approximation decision to a
+//! [`TechniquePolicy`](crate::exec::policy::TechniquePolicy), and returns
+//! the block's private [`BlockAccumulator`]. Because a block touches only
+//! its own technique state, its own store buffer, and its own accumulator,
+//! [`execute`] can run blocks sequentially (the reference executor) or
+//! fan them out over scoped threads ([`Executor::ParallelBlocks`]) with
+//! bit-identical results.
+
+use crate::exec::body::{BodyAccess, BufferedAccess, InlineAccess, RegionBody};
+use crate::exec::charge::StoreBuffer;
+use crate::exec::policy::{TechniquePolicy, WarpCtx};
+use crate::exec::{ExecOptions, Executor};
+use crate::hierarchy::{self, HierarchyLevel};
+use crate::region::RegionError;
+use gpu_sim::{BlockAccumulator, DeviceSpec, KernelExec, KernelRecord, LaunchConfig};
+use rayon::prelude::*;
+
+/// One active lane of a warp step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Lane {
+    /// Lane index within the warp.
+    pub lane: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// The loop item this lane executes (already offset by `item_lo`).
+    pub item: usize,
+    /// Global thread id.
+    pub tid: usize,
+}
+
+/// The launch geometry the walker iterates, plus the item offset applied by
+/// ini-perforation (the kernel iterates `[item_lo, item_lo + n_items)`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Geom {
+    pub spec: DeviceSpec,
+    pub launch: LaunchConfig,
+    pub warps_per_block: u32,
+    pub n_blocks: u32,
+    pub steps: usize,
+    pub item_lo: usize,
+}
+
+impl Geom {
+    pub fn new(spec: &DeviceSpec, launch: &LaunchConfig, item_lo: usize) -> Self {
+        Geom {
+            spec: *spec,
+            launch: *launch,
+            warps_per_block: launch.warps_per_block(spec),
+            n_blocks: launch.n_blocks,
+            steps: launch.steps(),
+            item_lo,
+        }
+    }
+}
+
+/// The lane-buffer cursor all policies share: collects a warp's active
+/// lanes and their activation votes, reusing its buffers across the whole
+/// walk (the `Geom::collect` plumbing each former `run_*` duplicated).
+pub(crate) struct WarpLanes {
+    lanes: Vec<Lane>,
+    votes: Vec<bool>,
+}
+
+impl WarpLanes {
+    pub fn new(warp_size: u32) -> Self {
+        WarpLanes {
+            lanes: Vec::with_capacity(warp_size as usize),
+            votes: vec![false; warp_size as usize],
+        }
+    }
+
+    /// Gather the active lanes of `(block, warp, step)`.
+    pub fn collect(&mut self, geom: &Geom, block: u32, warp: u32, step: usize) {
+        self.lanes.clear();
+        for lane in 0..geom.spec.warp_size {
+            if let Some(idx) = geom.launch.item_for(&geom.spec, block, warp, lane, step) {
+                self.lanes.push(Lane {
+                    lane,
+                    warp,
+                    item: geom.item_lo + idx,
+                    tid: geom.launch.tid(&geom.spec, block, warp, lane),
+                });
+            }
+        }
+    }
+
+    /// Refresh the per-lane activation votes via the policy.
+    pub fn fill_votes<P: TechniquePolicy + ?Sized>(
+        &mut self,
+        policy: &P,
+        st: &mut P::State,
+        body: &dyn RegionBody,
+    ) {
+        let (lanes, votes) = (&self.lanes, &mut self.votes);
+        for (k, l) in lanes.iter().enumerate() {
+            votes[k] = policy.lane_vote(st, k, l, body);
+        }
+    }
+
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    pub fn votes(&self) -> &[bool] {
+        &self.votes[..self.lanes.len()]
+    }
+}
+
+/// Walk one block through every (step, warp) and return its accounting.
+pub(crate) fn walk_block<P, A>(
+    geom: &Geom,
+    policy: &P,
+    access: &mut A,
+    block: u32,
+) -> BlockAccumulator
+where
+    P: TechniquePolicy + ?Sized,
+    A: BodyAccess,
+{
+    let mut acc = BlockAccumulator::new(geom.warps_per_block as usize, geom.spec.costs);
+    let mut st = policy.block_state(geom, block, access.body());
+    let mut cur = WarpLanes::new(geom.spec.warp_size);
+
+    for s in 0..geom.steps {
+        // Block-level decisions tally votes across the whole block first
+        // (shared-memory atomic + barrier on hardware; an extra pass here).
+        let block_decision = if policy.level() == HierarchyLevel::Block {
+            let mut yes = 0u32;
+            let mut active = 0u32;
+            for w in 0..geom.warps_per_block {
+                cur.collect(geom, block, w, s);
+                cur.fill_votes(policy, &mut st, access.body());
+                active += cur.lanes().len() as u32;
+                yes += cur.votes().iter().filter(|&&v| v).count() as u32;
+            }
+            Some(hierarchy::group_decision(yes, active))
+        } else {
+            None
+        };
+
+        for w in 0..geom.warps_per_block {
+            cur.collect(geom, block, w, s);
+            if cur.lanes().is_empty() {
+                continue;
+            }
+            cur.fill_votes(policy, &mut st, access.body());
+            let ctx = WarpCtx {
+                spec: &geom.spec,
+                warp: w,
+                lanes: cur.lanes(),
+                votes: cur.votes(),
+                decision: block_decision
+                    .unwrap_or_else(|| hierarchy::warp_decide(policy.level(), cur.votes())),
+            };
+            policy.warp_step(&mut st, &ctx, access, &mut acc);
+        }
+    }
+    acc
+}
+
+/// Worker-thread count for [`Executor::ParallelBlocks`]: the explicit
+/// `ExecOptions::threads` knob, else the `HPAC_THREADS` environment
+/// override, else every available core.
+pub(crate) fn resolve_threads(opts: &ExecOptions) -> usize {
+    if let Some(n) = opts.threads {
+        return n.max(1);
+    }
+    match crate::exec::env_threads() {
+        Some(0) | None => std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
+        Some(n) => n,
+    }
+}
+
+/// Split `n` blocks into at most `threads` contiguous index ranges — one
+/// per worker of the scoped-thread pool.
+pub(crate) fn chunk_ranges(n: u32, threads: usize) -> Vec<(u32, u32)> {
+    let chunk = (n as usize).div_ceil(threads).max(1) as u32;
+    (0..n)
+        .step_by(chunk as usize)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect()
+}
+
+/// Run every block of the launch through `policy` and fold the results into
+/// a [`KernelRecord`], on the executor `opts` selects.
+pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    shared: usize,
+    policy: &P,
+    body: &mut dyn RegionBody,
+    opts: &ExecOptions,
+    item_lo: usize,
+) -> Result<KernelRecord, RegionError> {
+    let mut exec = KernelExec::new(spec, launch, shared)?;
+    let geom = Geom::new(spec, launch, item_lo);
+
+    let threads = resolve_threads(opts);
+    let parallel = matches!(opts.executor, Executor::ParallelBlocks)
+        && threads > 1
+        && geom.n_blocks > 1
+        && !body.depends_on_stores();
+
+    if parallel {
+        // Fan blocks out in contiguous chunks, one per worker, through the
+        // scoped-thread rayon shim; `collect` preserves chunk order, so the
+        // fold below visits blocks in ascending index order no matter which
+        // worker finished first.
+        let ranges = chunk_ranges(geom.n_blocks, threads);
+        let shared_body: &dyn RegionBody = body;
+        let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> = ranges
+            .par_iter()
+            .map(|&(lo, hi)| {
+                (lo..hi)
+                    .map(|b| {
+                        let mut access = BufferedAccess::new(shared_body);
+                        let acc = walk_block(&geom, policy, &mut access, b);
+                        (acc, access.buffer)
+                    })
+                    .collect()
+            })
+            .collect();
+        for (b, (acc, stores)) in per_chunk.into_iter().flatten().enumerate() {
+            exec.merge_block(b as u32, acc);
+            stores.replay(|item, out| body.store(item, out));
+        }
+    } else {
+        for b in 0..geom.n_blocks {
+            let mut access = InlineAccess { body: &mut *body };
+            let acc = walk_block(&geom, policy, &mut access, b);
+            exec.merge_block(b, acc);
+        }
+    }
+    Ok(exec.finish())
+}

@@ -15,10 +15,14 @@
 //! approx_parallel_for(&spec, &launch, Some(&region), &mut body)?;
 //! ```
 //!
-//! with `body` implementing [`runtime::RegionBody`] — the closure capture of
+//! with `body` implementing [`exec::RegionBody`] — the closure capture of
 //! the accurate execution path, its region inputs/outputs, and its cost.
 //!
-//! The runtime implements the paper's GPU-aware designs:
+//! The runtime is a staged pipeline (see [`exec`]): one generic grid walker,
+//! a pluggable technique-policy layer, per-block accounting that lets
+//! independent blocks execute on separate threads
+//! ([`exec::Executor::ParallelBlocks`]), and it implements the paper's
+//! GPU-aware designs:
 //!
 //! * [`taf`] — relaxed-locality temporal output memoization (Fig 4d), with
 //!   the serialized "semantically equivalent" variant (Fig 4c) available for
@@ -33,17 +37,20 @@
 //! * [`shared_state`] — AC state sized and placed in block shared memory,
 //!   with launches rejected when the device limit is exceeded.
 
+pub mod exec;
 pub mod hierarchy;
 pub mod iact;
 pub mod metrics;
 pub mod params;
 pub mod perfo;
 pub mod region;
-pub mod runtime;
 pub mod shared_state;
 pub mod taf;
 
+pub use exec::{
+    approx_block_tasks, approx_parallel_for, approx_parallel_for_opts, BlockTaskBody, ExecOptions,
+    Executor, RegionBody,
+};
 pub use hierarchy::HierarchyLevel;
 pub use params::{IactParams, PerfoKind, PerfoParams, Replacement, TafParams};
 pub use region::{ApproxRegion, RegionError, Technique};
-pub use runtime::{approx_block_tasks, approx_parallel_for, RegionBody};

@@ -110,7 +110,7 @@ impl IactParams {
     /// warp size so every table serves an equal lane group.
     pub fn effective_tables_per_warp(&self, warp_size: u32) -> Result<u32, String> {
         let t = self.tables_per_warp.min(warp_size);
-        if warp_size % t != 0 {
+        if !warp_size.is_multiple_of(t) {
             return Err(format!(
                 "tables per warp ({t}) must divide the warp size ({warp_size})"
             ));

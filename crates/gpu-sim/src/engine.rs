@@ -9,7 +9,7 @@
 
 use crate::cost::{CostProfile, WarpCycles};
 use crate::dim::LaunchConfig;
-use crate::spec::DeviceSpec;
+use crate::spec::{CostParams, DeviceSpec};
 use crate::stats::KernelStats;
 use crate::timing::{self, TimingBreakdown};
 
@@ -37,7 +37,7 @@ impl std::fmt::Display for LaunchError {
 impl std::error::Error for LaunchError {}
 
 /// The result of one kernel execution: modeled timing plus statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelRecord {
     pub timing: TimingBreakdown,
     pub stats: KernelStats,
@@ -47,6 +47,57 @@ impl KernelRecord {
     /// Kernel time in seconds (convenience accessor).
     pub fn seconds(&self) -> f64 {
         self.timing.seconds
+    }
+}
+
+/// Accounting for one block's execution, independent of every other block.
+///
+/// A runtime that executes blocks on separate threads gives each block its
+/// own accumulator, charges costs and step outcomes into it, and folds the
+/// finished accumulators back with [`KernelExec::merge_block`]. Each
+/// accumulator is deterministic given the block's work, and the fold visits
+/// blocks in ascending index order, so the resulting [`KernelRecord`] is
+/// bit-identical to a sequential walk that used the same per-block
+/// accumulators — regardless of which thread finished first.
+#[derive(Debug, Clone)]
+pub struct BlockAccumulator {
+    costs: CostParams,
+    warps: Vec<WarpCycles>,
+    stats: KernelStats,
+}
+
+impl BlockAccumulator {
+    /// An empty accumulator for a block of `warps` warps.
+    pub fn new(warps: usize, costs: CostParams) -> Self {
+        BlockAccumulator {
+            costs,
+            warps: vec![WarpCycles::default(); warps],
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Charge one warp-step's cost to warp `warp` of this block.
+    pub fn charge(&mut self, warp: u32, profile: &CostProfile) {
+        self.stats.total_issue_cycles += profile.issue_cycles(&self.costs);
+        self.stats.total_latency_cycles += profile.latency_cycles(&self.costs);
+        self.stats.global_txns += profile.global_txns as u64;
+        self.warps[warp as usize].charge(profile, &self.costs);
+    }
+
+    /// Record the outcome of one warp step (see [`KernelExec::note_step`]).
+    pub fn note_step(&mut self, accurate: u32, approx: u32, skipped: u32, divergent: bool) {
+        self.stats.warp_steps += 1;
+        self.stats.accurate_lanes += accurate as u64;
+        self.stats.approx_lanes += approx as u64;
+        self.stats.skipped_lanes += skipped as u64;
+        if divergent {
+            self.stats.divergent_steps += 1;
+        }
+    }
+
+    /// Statistics accumulated so far (tests and diagnostics).
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
     }
 }
 
@@ -117,6 +168,21 @@ impl KernelExec {
         if divergent {
             self.stats.divergent_steps += 1;
         }
+    }
+
+    /// Fold one block's finished accumulator into the kernel record.
+    ///
+    /// Call once per block, in ascending block order: the u64 counters are
+    /// order-independent, and the fixed order makes the f64 cycle totals
+    /// bit-deterministic as well.
+    pub fn merge_block(&mut self, block: u32, acc: BlockAccumulator) {
+        let warps = &mut self.blocks[block as usize];
+        debug_assert_eq!(warps.len(), acc.warps.len());
+        for (w, cycles) in warps.iter_mut().zip(&acc.warps) {
+            w.issue += cycles.issue;
+            w.latency += cycles.latency;
+        }
+        self.stats.merge(&acc.stats);
     }
 
     /// Finish execution: run the SM scheduling model over the accumulated

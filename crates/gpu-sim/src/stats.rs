@@ -5,7 +5,7 @@
 //! the cycle breakdown used to explain where speedup comes from.
 
 /// Counters accumulated over one kernel execution.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KernelStats {
     /// Warp-steps executed (a warp processing one grid-stride step).
     pub warp_steps: u64,

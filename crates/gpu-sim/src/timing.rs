@@ -29,7 +29,7 @@ pub enum ResidencyLimiter {
 }
 
 /// How many blocks can be resident on one SM for this launch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Residency {
     pub blocks_per_sm: u32,
     pub limiter: ResidencyLimiter,
@@ -44,11 +44,10 @@ pub fn residency(
     let warps_per_block = launch.warps_per_block(spec).max(1);
     let by_blocks = spec.max_blocks_per_sm;
     let by_warps = (spec.max_warps_per_sm / warps_per_block).max(1);
-    let by_shared = if shared_bytes_per_block == 0 {
-        u32::MAX
-    } else {
-        ((spec.shared_mem_per_sm / shared_bytes_per_block) as u32).max(1)
-    };
+    let by_shared = spec
+        .shared_mem_per_sm
+        .checked_div(shared_bytes_per_block)
+        .map_or(u32::MAX, |b| (b as u32).max(1));
     let blocks = by_blocks.min(by_warps).min(by_shared).max(1);
     let limiter = if blocks == by_shared && by_shared <= by_blocks && by_shared <= by_warps {
         ResidencyLimiter::SharedMemory
@@ -64,7 +63,7 @@ pub fn residency(
 }
 
 /// Timing breakdown of one kernel execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingBreakdown {
     /// Modeled kernel duration in device cycles (excluding launch overhead).
     pub cycles: f64,

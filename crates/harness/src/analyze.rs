@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn best_under_error_respects_cap() {
-        let rows = vec![row(3.0, 15.0), row(2.0, 5.0), row(1.5, 1.0)];
+        let rows = [row(3.0, 15.0), row(2.0, 5.0), row(1.5, 1.0)];
         let refs: Vec<&Row> = rows.iter().collect();
         let best = best_under_error(&refs, 10.0).unwrap();
         assert_eq!(best.speedup, 2.0);
@@ -114,14 +114,14 @@ mod tests {
 
     #[test]
     fn best_under_error_ignores_infinite() {
-        let rows = vec![row(9.0, f64::INFINITY), row(1.2, 2.0)];
+        let rows = [row(9.0, f64::INFINITY), row(1.2, 2.0)];
         let refs: Vec<&Row> = rows.iter().collect();
         assert_eq!(best_under_error(&refs, 10.0).unwrap().speedup, 1.2);
     }
 
     #[test]
     fn best_under_error_none_when_all_bad() {
-        let rows = vec![row(9.0, 99.0)];
+        let rows = [row(9.0, 99.0)];
         let refs: Vec<&Row> = rows.iter().collect();
         assert!(best_under_error(&refs, 10.0).is_none());
     }
@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn geomean_speedup_of_ones_is_one() {
-        let rows = vec![row(1.0, 0.0), row(1.0, 0.0)];
+        let rows = [row(1.0, 0.0), row(1.0, 0.0)];
         let refs: Vec<&Row> = rows.iter().collect();
         assert!((geomean_speedup(&refs) - 1.0).abs() < 1e-12);
     }

@@ -10,6 +10,7 @@ use crate::db::Row;
 use crate::space::{self, Scale, SweepConfig};
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::{AppResult, Benchmark, LaunchParams};
+use hpac_core::exec::ExecOptions;
 use rayon::prelude::*;
 
 /// The chosen baseline: launch shape, result, and its timing-basis seconds.
@@ -23,6 +24,15 @@ pub struct Baseline {
 /// Pick the best non-approximated launch over the benchmark's baseline
 /// items-per-thread candidates.
 pub fn select_baseline(bench: &dyn Benchmark, spec: &DeviceSpec) -> Baseline {
+    select_baseline_opts(bench, spec, &ExecOptions::default())
+}
+
+/// [`select_baseline`] under explicit execution options.
+pub fn select_baseline_opts(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    opts: &ExecOptions,
+) -> Baseline {
     let kernel_only = bench.kernel_only_timing();
     let block = space::block_size_for(bench);
     space::baseline_ipts(bench)
@@ -30,7 +40,7 @@ pub fn select_baseline(bench: &dyn Benchmark, spec: &DeviceSpec) -> Baseline {
         .map(|ipt| {
             let lp = LaunchParams::new(ipt, block);
             let result = bench
-                .run(spec, None, &lp)
+                .run_opts(spec, None, &lp, opts)
                 .expect("accurate baseline must run");
             let seconds = result.timing_basis_seconds(kernel_only);
             Baseline {
@@ -59,8 +69,19 @@ pub fn run_config(
     baseline: &Baseline,
     cfg: &SweepConfig,
 ) -> Result<Row, (String, String)> {
+    run_config_opts(bench, spec, baseline, cfg, &ExecOptions::default())
+}
+
+/// [`run_config`] under explicit execution options (executor knob).
+pub fn run_config_opts(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    baseline: &Baseline,
+    cfg: &SweepConfig,
+    opts: &ExecOptions,
+) -> Result<Row, (String, String)> {
     let kernel_only = bench.kernel_only_timing();
-    match bench.run(spec, Some(&cfg.region), &cfg.lp) {
+    match bench.run_opts(spec, Some(&cfg.region), &cfg.lp, opts) {
         Ok(res) => {
             let err = res.qoi.error_vs(&baseline.result.qoi);
             let seconds = res.timing_basis_seconds(kernel_only);
@@ -85,18 +106,55 @@ pub fn run_config(
 
 /// Run a benchmark's full sweep plan on one device, in parallel across
 /// configurations.
+///
+/// This runner owns the host parallelism (one worker per core over the
+/// configurations), so every kernel launch inside it is pinned to the
+/// sequential reference executor — nesting `ParallelBlocks` under the
+/// config fan-out would oversubscribe the machine. For intra-kernel
+/// parallelism use [`run_sweep_serial`] with
+/// [`hpac_core::exec::Executor::ParallelBlocks`] instead.
 pub fn run_sweep(bench: &dyn Benchmark, spec: &DeviceSpec, scale: Scale) -> SweepOutcome {
-    let baseline = select_baseline(bench, spec);
+    let opts = ExecOptions::with_executor(hpac_core::exec::Executor::Sequential);
+    let baseline = select_baseline_opts(bench, spec, &opts);
     let plan = space::plan(bench, spec, scale);
     let results: Vec<Result<Row, (String, String)>> = plan
         .par_iter()
-        .map(|cfg| run_config(bench, spec, &baseline, cfg))
+        .map(|cfg| run_config_opts(bench, spec, &baseline, cfg, &opts))
         .collect();
 
     let mut rows = Vec::with_capacity(results.len());
     let mut rejected = Vec::new();
     for r in results {
         match r {
+            Ok(row) => rows.push(row),
+            Err(rej) => rejected.push(rej),
+        }
+    }
+    SweepOutcome {
+        rows,
+        rejected,
+        baseline,
+    }
+}
+
+/// Run a benchmark's full sweep plan on one device with each configuration
+/// executed *serially*, under explicit execution options. This is the
+/// harness entry for intra-kernel parallelism
+/// ([`hpac_core::exec::Executor::ParallelBlocks`]): the configurations run
+/// one at a time and each kernel launch fans its blocks out instead —
+/// `sweepbench` uses it to compare the two executors on equal footing.
+pub fn run_sweep_serial(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    scale: Scale,
+    opts: &ExecOptions,
+) -> SweepOutcome {
+    let baseline = select_baseline_opts(bench, spec, opts);
+    let plan = space::plan(bench, spec, scale);
+    let mut rows = Vec::with_capacity(plan.len());
+    let mut rejected = Vec::new();
+    for cfg in &plan {
+        match run_config_opts(bench, spec, &baseline, cfg, opts) {
             Ok(row) => rows.push(row),
             Err(rej) => rejected.push(rej),
         }
@@ -115,10 +173,13 @@ pub fn run_configs(
     spec: &DeviceSpec,
     configs: &[SweepConfig],
 ) -> SweepOutcome {
-    let baseline = select_baseline(bench, spec);
+    // Config-parallel like `run_sweep`: kernels stay on the sequential
+    // reference executor.
+    let opts = ExecOptions::with_executor(hpac_core::exec::Executor::Sequential);
+    let baseline = select_baseline_opts(bench, spec, &opts);
     let results: Vec<Result<Row, (String, String)>> = configs
         .par_iter()
-        .map(|cfg| run_config(bench, spec, &baseline, cfg))
+        .map(|cfg| run_config_opts(bench, spec, &baseline, cfg, &opts))
         .collect();
     let mut rows = Vec::new();
     let mut rejected = Vec::new();

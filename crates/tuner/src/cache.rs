@@ -78,10 +78,18 @@ impl TuningCache {
         TuningCache { dir: dir.into() }
     }
 
-    /// The workspace's conventional location (`target/` is already the home
-    /// of generated artifacts like `target/figures`).
+    /// The cache directory: the `HPAC_TUNER_CACHE` environment variable if
+    /// set, else `target/tuner-cache`.
+    ///
+    /// The default lives under `target/` (already the home of generated
+    /// artifacts like `target/figures`), which means `cargo clean` wipes
+    /// it; point `HPAC_TUNER_CACHE` at a durable directory to keep tuning
+    /// results across clean builds.
     pub fn default_dir() -> PathBuf {
-        PathBuf::from("target/tuner-cache")
+        match std::env::var_os("HPAC_TUNER_CACHE") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from("target/tuner-cache"),
+        }
     }
 
     pub fn dir(&self) -> &Path {

@@ -338,7 +338,7 @@ mod tests {
     fn roundtrip_nested() {
         let v = Json::Obj(vec![
             ("name".into(), Json::str("K-Means")),
-            ("speedup".into(), Json::num(1.4142)),
+            ("speedup".into(), Json::num(1.4375)),
             ("cache".into(), Json::Bool(true)),
             ("missing".into(), Json::Null),
             (

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_offload::core::exec::{approx_parallel_for, RegionBody};
 use hpac_offload::core::metrics::mape;
-use hpac_offload::core::runtime::{approx_parallel_for, RegionBody};
 use hpac_offload::core::ApproxRegion;
 
 /// The "expensive device function" of the paper's Figure 1: here a little
@@ -20,7 +20,7 @@ impl RegionBody for Foo {
         1
     }
 
-    fn accurate(&mut self, i: usize, out: &mut [f64]) {
+    fn compute(&self, i: usize, out: &mut [f64]) {
         // Newton iteration for cbrt(x + 2): deliberately compute-heavy.
         let x = self.input[i] + 2.0;
         let mut y = 1.0;
