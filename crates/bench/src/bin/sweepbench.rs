@@ -5,13 +5,18 @@
 //!
 //! Each sweep executes its configurations *serially*
 //! (`hpac_harness::runner::run_sweep_serial`), so the only parallelism in
-//! play is the staged pipeline's block executor — exactly the speedup the
-//! `ExecOptions::executor` knob buys on a multicore host. Results land in
+//! play is the engine's block executor — exactly the speedup the
+//! `ExecOptions::executor` knob buys on a multicore host.
+//!
+//! Methodology: per (application, executor) the sweep runs once as a
+//! warmup (engine workers spawned, caches hot) and then [`REPS`] timed
+//! repetitions; the reported number is the median. Results land in
 //! `BENCH_sweep.json`: per-app sequential/parallel wall-clock seconds and
-//! speedup, plus the aggregate.
+//! speedup, the aggregate, and the effective engine worker width the
+//! parallel executor actually resolved (not just the host core count).
 //!
 //! Flags: `--full` uses the paper's complete Table 2 grids;
-//! `HPAC_THREADS=<n>` pins the parallel executor's worker count.
+//! `HPAC_THREADS=<n>` sets the engine width (`0` = all cores).
 
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::Benchmark;
@@ -19,10 +24,14 @@ use hpac_apps::{
     binomial::BinomialOptions, blackscholes::Blackscholes, kmeans::KMeans, lavamd::LavaMd,
     leukocyte::Leukocyte, lulesh::Lulesh, minife::MiniFe,
 };
-use hpac_core::exec::{ExecOptions, Executor};
+use hpac_core::exec::{engine, ExecOptions, Executor};
 use hpac_harness::runner;
+use hpac_harness::space::Scale;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Timed repetitions per (application, executor) after the warmup pass.
+const REPS: usize = 3;
 
 /// Laptop-scale configurations of all seven applications (Table 1 order) —
 /// the same sizes the `tune` driver exercises.
@@ -77,6 +86,35 @@ impl AppTiming {
     }
 }
 
+/// Median of the timed repetitions (REPS is small; sort is fine).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Warmup + `REPS` timed sweeps; returns the median seconds and the warmup
+/// outcome (for the executor-agreement check).
+fn bench_executor(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    scale: Scale,
+    opts: &ExecOptions,
+) -> (f64, runner::SweepOutcome) {
+    let warmup = runner::run_sweep_serial(bench, spec, scale, opts);
+    let mut secs = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let _ = runner::run_sweep_serial(bench, spec, scale, opts);
+        secs.push(t.elapsed().as_secs_f64());
+    }
+    (median(secs), warmup)
+}
+
 fn main() {
     let scale = hpac_bench::scale_from_args();
     let spec = DeviceSpec::v100();
@@ -92,8 +130,15 @@ fn main() {
         executor: Executor::ParallelBlocks,
         ..ExecOptions::default()
     };
+    // The worker width the parallel executor actually resolves
+    // (ExecOptions::threads > HPAC_THREADS > cores) — what the engine will
+    // use, as opposed to the raw host core count.
+    let workers = engine().width_for(&par_opts);
 
-    println!("sweepbench: serial config sweeps, {host_cores}-core host, scale {scale:?}");
+    println!(
+        "sweepbench: serial config sweeps, {host_cores}-core host, \
+         engine width {workers}, scale {scale:?}, median of {REPS} reps"
+    );
     println!(
         "{:<18} {:>8} {:>12} {:>12} {:>9}",
         "benchmark", "configs", "seq [s]", "par [s]", "speedup"
@@ -101,13 +146,8 @@ fn main() {
 
     let mut timings: Vec<AppTiming> = Vec::new();
     for bench in suite() {
-        let t0 = Instant::now();
-        let seq = runner::run_sweep_serial(bench.as_ref(), &spec, scale, &seq_opts);
-        let seq_seconds = t0.elapsed().as_secs_f64();
-
-        let t1 = Instant::now();
-        let par = runner::run_sweep_serial(bench.as_ref(), &spec, scale, &par_opts);
-        let par_seconds = t1.elapsed().as_secs_f64();
+        let (seq_seconds, seq) = bench_executor(bench.as_ref(), &spec, scale, &seq_opts);
+        let (par_seconds, par) = bench_executor(bench.as_ref(), &spec, scale, &par_opts);
 
         // The executors must agree on what they computed, not just be fast.
         assert_eq!(seq.rows.len(), par.rows.len(), "row count diverged");
@@ -150,13 +190,15 @@ fn main() {
         total_par,
         overall
     );
-    if host_cores < 4 {
-        println!("note: host has {host_cores} cores; block-parallel speedup needs >= 4");
+    if workers < 4 {
+        println!("note: engine width is {workers}; block-parallel speedup needs >= 4");
     }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"workers_effective\": {workers},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
     let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(json, "  \"device\": \"{}\",", spec.name);
     let _ = writeln!(json, "  \"apps\": [");

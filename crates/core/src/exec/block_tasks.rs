@@ -6,12 +6,14 @@
 //! table), and blocks grid-stride over disjoint task sets, so the same
 //! per-block decomposition that parallelizes the warp walker applies here:
 //! under [`Executor::ParallelBlocks`](crate::exec::Executor::ParallelBlocks)
-//! blocks run on scoped threads with buffered stores and fold back in block
-//! order, bit-identical to the sequential reference.
+//! blocks run on the persistent [`engine`](crate::exec::engine) worker pool
+//! with buffered stores and fold back in block order, bit-identical to the
+//! sequential reference.
 
 use crate::exec::body::BlockTaskBody;
 use crate::exec::charge::StoreBuffer;
-use crate::exec::walk::{chunk_ranges, resolve_threads};
+use crate::exec::engine::engine;
+use crate::exec::walk::chunk_ranges;
 use crate::exec::{ExecOptions, Executor};
 use crate::hierarchy::{self, HierarchyLevel};
 use crate::iact::IactPool;
@@ -23,7 +25,6 @@ use crate::taf::TafPool;
 use gpu_sim::{
     BlockAccumulator, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig, Schedule,
 };
-use rayon::prelude::*;
 
 /// Launch a block-cooperative kernel over `n_tasks` tasks with block-level
 /// approximation. Blocks grid-stride over tasks: block `b` handles tasks
@@ -114,14 +115,18 @@ pub fn approx_block_tasks_opts(
         technique,
     };
 
-    let threads = resolve_threads(opts);
-    let parallel = matches!(opts.executor, Executor::ParallelBlocks) && threads > 1 && n_blocks > 1;
+    let width = engine().width_for(opts);
+    let parallel = matches!(opts.executor, Executor::ParallelBlocks)
+        && width > 1
+        && n_blocks > 1
+        && !engine().is_nested();
 
     if parallel {
         let shared_body: &dyn BlockTaskBody = body;
-        let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> = chunk_ranges(n_blocks, threads)
-            .par_iter()
-            .map(|&(lo, hi)| {
+        let ranges = chunk_ranges(n_blocks, width);
+        let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> =
+            engine().run(ranges.len(), ranges.len(), |k| {
+                let (lo, hi) = ranges[k];
                 (lo..hi)
                     .map(|b| {
                         let mut buffer = StoreBuffer::new(walk.out_dim);
@@ -130,8 +135,7 @@ pub fn approx_block_tasks_opts(
                         (acc, buffer)
                     })
                     .collect()
-            })
-            .collect();
+            });
         for (b, (acc, stores)) in per_chunk.into_iter().flatten().enumerate() {
             exec.merge_block(b as u32, acc);
             stores.replay(|task, out| body.store(task, out));

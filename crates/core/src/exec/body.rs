@@ -6,13 +6,94 @@
 //! mutable commit path (`store`, taking `&mut self`). Under the
 //! [`Executor::Sequential`](crate::exec::Executor::Sequential) reference
 //! executor stores are applied inline as the walk proceeds; under
-//! [`Executor::ParallelBlocks`](crate::exec::Executor::ParallelBlocks) each
-//! block buffers its stores in a private [`StoreBuffer`] and the runtime
-//! replays them in block order after all blocks finish — the same call
-//! sequence the sequential walk produces, so outputs are bit-identical.
+//! [`Executor::ParallelBlocks`](crate::exec::Executor::ParallelBlocks) the
+//! commit route is chosen by the body's [`StoreVisibility`]: independent
+//! bodies buffer each block's stores in a private [`StoreBuffer`] that the
+//! runtime replays in block order after all blocks finish, while
+//! block-private bodies (Leukocyte's in-kernel Jacobi, whose later sweeps
+//! re-read their own block's stores) commit inline into per-block
+//! partitioned state ([`BlockField`]) through
+//! [`RegionBody::store_shared`]. Either way the call sequence each block
+//! observes is exactly the sequential walk's, so outputs are
+//! bit-identical.
 
 use crate::exec::charge::StoreBuffer;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a region's `store` calls are allowed to feed back into `compute`
+/// within one launch — the property that decides how the parallel executor
+/// may commit them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreVisibility {
+    /// `compute` never reads in-launch stores. The parallel executor
+    /// buffers each block's stores privately and replays them in block
+    /// order after the join (the default).
+    #[default]
+    Independent,
+    /// `compute` reads in-launch stores, but only those of its *own* block,
+    /// held in per-block private state reachable through `&self`
+    /// ([`RegionBody::store_shared`], typically backed by a [`BlockField`]).
+    /// Legal only under [`gpu_sim::Schedule::BlockLocal`]-style launches
+    /// where blocks own disjoint item ranges (Leukocyte's in-kernel Jacobi
+    /// sweeps); the parallel executor commits such stores inline from the
+    /// block's worker, so the block sees its own writes immediately.
+    BlockPrivate,
+    /// `compute` reads stores of other blocks. Such bodies always execute
+    /// on the sequential reference executor, because no buffering or
+    /// partitioning discipline can make their cross-block timing
+    /// deterministic.
+    Global,
+}
+
+/// A field partitioned into per-block private slices, giving a region body
+/// interior-mutable storage that independent block workers can write
+/// concurrently.
+///
+/// The contract mirrors GPU shared/global memory under
+/// `Schedule::BlockLocal`: while a kernel is in flight, the thread walking
+/// block `b` reads and writes only `b`'s partition, so every index has at
+/// most one writer. Values are stored as their IEEE-754 bit patterns in
+/// relaxed atomics — races are impossible by construction and every
+/// round-trip is bit-exact, which preserves the executor-equivalence
+/// guarantee.
+#[derive(Debug)]
+pub struct BlockField {
+    bits: Vec<AtomicU64>,
+}
+
+impl BlockField {
+    /// A field initialized from `init` (e.g. the input image).
+    pub fn from_vec(init: Vec<f64>) -> Self {
+        BlockField {
+            bits: init
+                .into_iter()
+                .map(|v| AtomicU64::new(v.to_bits()))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i].load(Ordering::Relaxed))
+    }
+
+    pub fn set(&self, i: usize, v: f64) {
+        self.bits[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Snapshot a contiguous range (e.g. one block's slice after launch).
+    pub fn to_vec(&self, range: std::ops::Range<usize>) -> Vec<f64> {
+        range.map(|i| self.get(i)).collect()
+    }
+}
 
 /// The annotated code region: the accurate path, its declared inputs and
 /// outputs, and its cost.
@@ -48,19 +129,29 @@ pub trait RegionBody: Sync {
     ///
     /// Must depend only on `i` and on state that existed before the kernel
     /// launch — not on what `store` wrote for other items — unless
-    /// [`RegionBody::depends_on_stores`] says otherwise.
+    /// [`RegionBody::store_visibility`] says otherwise.
     fn compute(&self, i: usize, out: &mut [f64]);
 
     /// Commit the region outputs for item `i`.
     fn store(&mut self, i: usize, out: &[f64]);
 
-    /// Does `compute` for one item read state written by `store` for
-    /// another item of the *same launch*? Legal only within a block under
-    /// [`gpu_sim::Schedule::BlockLocal`] (e.g. Leukocyte's in-kernel Jacobi
-    /// sweeps); such bodies always execute on the sequential reference
-    /// executor, because buffered stores would not be visible in time.
-    fn depends_on_stores(&self) -> bool {
-        false
+    /// How this body's stores feed back into `compute` within one launch.
+    /// [`StoreVisibility::Independent`] (the default) lets the parallel
+    /// executor buffer stores per block; [`StoreVisibility::BlockPrivate`]
+    /// commits them inline through [`RegionBody::store_shared`];
+    /// [`StoreVisibility::Global`] pins the body to the sequential
+    /// reference executor.
+    fn store_visibility(&self) -> StoreVisibility {
+        StoreVisibility::Independent
+    }
+
+    /// Commit the region outputs for item `i` through a shared reference,
+    /// into per-block private state (see [`StoreVisibility::BlockPrivate`];
+    /// typically a [`BlockField`] write). Required exactly when
+    /// `store_visibility()` returns `BlockPrivate`; `store` should delegate
+    /// here so both executors commit through the same path.
+    fn store_shared(&self, _i: usize, _out: &[f64]) {
+        unreachable!("store_shared is required for StoreVisibility::BlockPrivate bodies");
     }
 
     /// Cost of one warp executing the accurate path with `lanes` active
@@ -184,5 +275,26 @@ impl BodyAccess for BufferedAccess<'_> {
 
     fn store(&mut self, i: usize, out: &[f64]) {
         self.buffer.push(i, out);
+    }
+}
+
+/// Parallel-executor access for [`StoreVisibility::BlockPrivate`] bodies:
+/// stores commit inline through `store_shared` into the body's per-block
+/// partitioned state, so the block's later `compute` calls see them.
+pub(crate) struct SharedAccess<'a> {
+    pub body: &'a dyn RegionBody,
+}
+
+impl BodyAccess for SharedAccess<'_> {
+    fn body(&self) -> &dyn RegionBody {
+        self.body
+    }
+
+    fn compute(&mut self, i: usize, out: &mut [f64]) {
+        self.body.compute(i, out);
+    }
+
+    fn store(&mut self, i: usize, out: &[f64]) {
+        self.body.store_shared(i, out);
     }
 }

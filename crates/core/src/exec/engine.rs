@@ -1,0 +1,195 @@
+//! The `ExecEngine`: one persistent worker pool unifying block-level and
+//! config-level parallelism across the stack.
+//!
+//! Every site that fans work out over host threads — the block executor in
+//! [`walk`](crate::exec) / `block_tasks`, the harness's configuration
+//! sweeps, the tuner's batched evaluations — submits to this engine. The
+//! engine fronts the process-wide pool of `rayon::pool`: workers are
+//! spawned once, on first demand, and reused for every subsequent launch,
+//! so the per-launch thread-spawn cost that used to tax many-small-kernel
+//! applications (LULESH) is paid exactly once per process.
+//!
+//! Nesting is safe by construction: a task already running on the engine
+//! that submits again (a config task whose kernel launches fan out blocks)
+//! executes the nested batch inline on its own thread. One level of the
+//! stack parallelizes, every level below it serializes — no
+//! oversubscription, and no need to manually pin inner launches to the
+//! sequential executor.
+//!
+//! # Worker-count precedence
+//!
+//! This is the single source of truth for how many threads work a batch:
+//!
+//! 1. an explicit [`ExecOptions::threads`] (`Some(n)`; `0` is clamped to
+//!    1, larger values are honored verbatim — the equivalence tests force
+//!    widths beyond the core count);
+//! 2. else the `HPAC_THREADS` environment variable — must be a
+//!    non-negative integer, where `0` means "all available cores"; any
+//!    other value aborts with a clear error rather than silently falling
+//!    back. Values above the core count are capped to it: fanning a batch
+//!    wider than the machine only adds handoff overhead (measured 0.70x →
+//!    0.54x on LULESH on a 1-core host), so the environment knob never
+//!    oversubscribes;
+//! 3. else every available core
+//!    (`std::thread::available_parallelism()`).
+//!
+//! An unset or empty `HPAC_THREADS` counts as absent. The resolved width
+//! is a *cap on threads touching one batch*, not a pool size: the pool
+//! grows lazily to the largest width ever requested (bounded by
+//! [`rayon::pool::MAX_WORKERS`]) and idle workers cost nothing.
+
+use crate::exec::ExecOptions;
+use rayon::pool::{self, WorkerPool};
+use std::thread::ThreadId;
+
+/// Handle to the process-wide execution engine.
+pub fn engine() -> &'static ExecEngine {
+    static ENGINE: ExecEngine = ExecEngine { _priv: () };
+    &ENGINE
+}
+
+/// The facade over the persistent worker pool. Obtain it with [`engine`];
+/// there is exactly one per process.
+pub struct ExecEngine {
+    _priv: (),
+}
+
+impl ExecEngine {
+    /// Run `n` independent tasks with at most `width` threads (including
+    /// the caller, which always participates) and return the results in
+    /// task-index order. Called from inside another engine task, the batch
+    /// runs inline on the calling thread — the nesting depth guard.
+    pub fn run<R, F>(&self, n: usize, width: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        pool::global().run(n, width, f)
+    }
+
+    /// Is the calling thread already inside an engine task? Submissions
+    /// from such a context execute inline.
+    pub fn is_nested(&self) -> bool {
+        pool::in_task()
+    }
+
+    /// The batch width used when no explicit option narrows it:
+    /// `HPAC_THREADS` capped at the core count, else every available core
+    /// (precedence rules 2–3).
+    pub fn default_width(&self) -> usize {
+        let cores = available_cores();
+        match env_threads() {
+            Some(0) | None => cores,
+            Some(n) => n.min(cores),
+        }
+    }
+
+    /// The batch width `opts` resolves to (the full precedence chain).
+    pub fn width_for(&self, opts: &ExecOptions) -> usize {
+        match opts.threads {
+            Some(n) => n.max(1),
+            None => self.default_width(),
+        }
+    }
+
+    /// Workers spawned so far (grows lazily; never shrinks).
+    pub fn spawned_workers(&self) -> usize {
+        pool::global().spawned_workers()
+    }
+
+    /// Thread ids of the live pool workers, in worker-index order. The
+    /// list only grows and existing entries never change — the observable
+    /// behind the "no respawn" regression tests.
+    pub fn worker_thread_ids(&self) -> Vec<ThreadId> {
+        pool::global().worker_thread_ids()
+    }
+
+    /// The underlying pool, for callers that need the raw abstraction.
+    pub fn pool(&self) -> &'static WorkerPool {
+        pool::global()
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Parse an `HPAC_THREADS` value: a non-negative integer, `0` meaning
+/// "all available cores". Empty / whitespace-only means "unset".
+pub fn parse_hpac_threads(raw: &str) -> Result<Option<usize>, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed.parse::<usize>().map(Some).map_err(|_| {
+        format!(
+            "HPAC_THREADS must be a non-negative integer \
+             (0 = all cores, 1 = sequential, N = N workers); got {trimmed:?}"
+        )
+    })
+}
+
+/// The validated `HPAC_THREADS` environment override. A malformed value
+/// aborts with the parse error — a typo must not silently run sequentially.
+pub(crate) fn env_threads() -> Option<usize> {
+    match std::env::var("HPAC_THREADS") {
+        Err(_) => None,
+        Ok(raw) => match parse_hpac_threads(&raw) {
+            Ok(v) => v,
+            Err(msg) => panic!("{msg}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_counts_and_zero() {
+        assert_eq!(parse_hpac_threads("0"), Ok(Some(0)));
+        assert_eq!(parse_hpac_threads("1"), Ok(Some(1)));
+        assert_eq!(parse_hpac_threads(" 8 "), Ok(Some(8)));
+    }
+
+    #[test]
+    fn parse_treats_empty_as_unset() {
+        assert_eq!(parse_hpac_threads(""), Ok(None));
+        assert_eq!(parse_hpac_threads("   "), Ok(None));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_clear_error() {
+        for bad in ["four", "-2", "1.5", "8x", "0x10"] {
+            let err = parse_hpac_threads(bad).unwrap_err();
+            assert!(
+                err.contains("HPAC_THREADS") && err.contains(bad),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_threads_beats_environment() {
+        let opts = ExecOptions {
+            threads: Some(3),
+            ..ExecOptions::default()
+        };
+        assert_eq!(engine().width_for(&opts), 3);
+        let zero = ExecOptions {
+            threads: Some(0),
+            ..ExecOptions::default()
+        };
+        assert_eq!(engine().width_for(&zero), 1);
+    }
+
+    #[test]
+    fn engine_runs_batches_in_order() {
+        let out = engine().run(100, 4, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+}

@@ -13,8 +13,9 @@
 //! 3. **Accounting** ([`charge`], plus `gpu_sim::BlockAccumulator`) —
 //!    every block accumulates costs, statistics, and stores privately, and
 //!    the results fold back in block order, which is what lets
-//!    [`Executor::ParallelBlocks`] run blocks on scoped threads with
-//!    results bit-identical to the [`Executor::Sequential`] reference.
+//!    [`Executor::ParallelBlocks`] run blocks on the persistent
+//!    [`ExecEngine`](engine::ExecEngine) worker pool with results
+//!    bit-identical to the [`Executor::Sequential`] reference.
 //!
 //! [`approx_parallel_for`] is the analogue of launching an annotated
 //! `#pragma omp target teams distribute parallel for` region;
@@ -25,6 +26,7 @@
 mod block_tasks;
 pub mod body;
 pub mod charge;
+pub mod engine;
 mod iact;
 mod perfo;
 mod policy;
@@ -32,8 +34,9 @@ mod taf;
 mod walk;
 
 pub use block_tasks::{approx_block_tasks, approx_block_tasks_opts};
-pub use body::{BlockTaskBody, RegionBody};
+pub use body::{BlockField, BlockTaskBody, RegionBody, StoreVisibility};
 pub use charge::StoreBuffer;
+pub use engine::{engine, ExecEngine};
 
 use crate::region::{ApproxRegion, RegionError, Technique};
 use crate::shared_state;
@@ -46,27 +49,21 @@ pub enum Executor {
     /// calling thread, stores committed inline.
     #[default]
     Sequential,
-    /// Independent blocks fan out over scoped threads (the rayon shim);
-    /// each block buffers its stores and accounting privately and the
-    /// results fold back in block order, bit-identical to [`Executor::Sequential`].
+    /// Independent blocks fan out over the persistent
+    /// [`ExecEngine`](engine::ExecEngine) worker pool; each block buffers
+    /// its stores and accounting privately and the results fold back in
+    /// block order, bit-identical to [`Executor::Sequential`].
     ParallelBlocks,
-}
-
-/// The `HPAC_THREADS` environment override, parsed once for both the
-/// executor choice and the worker count: `None` when unset or not a
-/// number, `Some(n)` otherwise (`0` means "all available cores").
-pub(crate) fn env_threads() -> Option<usize> {
-    std::env::var("HPAC_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
 }
 
 impl Executor {
     /// The executor selected by the `HPAC_THREADS` environment override:
-    /// unset, unparseable, or `1` keeps the sequential reference; a worker
-    /// count (or `0` for all cores) enables [`Executor::ParallelBlocks`].
+    /// unset or `1` keeps the sequential reference; a worker count (or `0`
+    /// for all cores) enables [`Executor::ParallelBlocks`]. A malformed
+    /// value aborts with a clear error (see [`engine`] for the full
+    /// precedence rules).
     pub fn from_env() -> Executor {
-        match env_threads() {
+        match engine::env_threads() {
             Some(1) | None => Executor::Sequential,
             Some(_) => Executor::ParallelBlocks,
         }
@@ -86,7 +83,8 @@ pub struct ExecOptions {
     /// the `HPAC_THREADS` environment override (see [`Executor::from_env`]).
     pub executor: Executor,
     /// Worker threads for [`Executor::ParallelBlocks`]. `None` falls back
-    /// to `HPAC_THREADS`, then to every available core.
+    /// to `HPAC_THREADS`, then to every available core — the canonical
+    /// precedence chain lives in the [`engine`] module docs.
     pub threads: Option<usize>,
 }
 

@@ -9,17 +9,19 @@
 //! the block's private [`BlockAccumulator`]. Because a block touches only
 //! its own technique state, its own store buffer, and its own accumulator,
 //! [`execute`] can run blocks sequentially (the reference executor) or
-//! fan them out over scoped threads ([`Executor::ParallelBlocks`]) with
-//! bit-identical results.
+//! fan them out over the persistent [`engine`](crate::exec::engine) worker
+//! pool ([`Executor::ParallelBlocks`]) with bit-identical results.
 
-use crate::exec::body::{BodyAccess, BufferedAccess, InlineAccess, RegionBody};
+use crate::exec::body::{
+    BodyAccess, BufferedAccess, InlineAccess, RegionBody, SharedAccess, StoreVisibility,
+};
 use crate::exec::charge::StoreBuffer;
+use crate::exec::engine::engine;
 use crate::exec::policy::{TechniquePolicy, WarpCtx};
 use crate::exec::{ExecOptions, Executor};
 use crate::hierarchy::{self, HierarchyLevel};
 use crate::region::RegionError;
 use gpu_sim::{BlockAccumulator, DeviceSpec, KernelExec, KernelRecord, LaunchConfig};
-use rayon::prelude::*;
 
 /// One active lane of a warp step.
 #[derive(Debug, Clone, Copy)]
@@ -164,23 +166,8 @@ where
     acc
 }
 
-/// Worker-thread count for [`Executor::ParallelBlocks`]: the explicit
-/// `ExecOptions::threads` knob, else the `HPAC_THREADS` environment
-/// override, else every available core.
-pub(crate) fn resolve_threads(opts: &ExecOptions) -> usize {
-    if let Some(n) = opts.threads {
-        return n.max(1);
-    }
-    match crate::exec::env_threads() {
-        Some(0) | None => std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1),
-        Some(n) => n,
-    }
-}
-
 /// Split `n` blocks into at most `threads` contiguous index ranges — one
-/// per worker of the scoped-thread pool.
+/// per engine task.
 pub(crate) fn chunk_ranges(n: u32, threads: usize) -> Vec<(u32, u32)> {
     let chunk = (n as usize).div_ceil(threads).max(1) as u32;
     (0..n)
@@ -203,40 +190,67 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
     let mut exec = KernelExec::new(spec, launch, shared)?;
     let geom = Geom::new(spec, launch, item_lo);
 
-    let threads = resolve_threads(opts);
+    // Launches submitted from inside an engine task (a config-level sweep
+    // worker) run inline — the engine's depth guard would serialize them
+    // anyway, and skipping the fan-out avoids pointless store buffering.
+    let width = engine().width_for(opts);
     let parallel = matches!(opts.executor, Executor::ParallelBlocks)
-        && threads > 1
+        && width > 1
         && geom.n_blocks > 1
-        && !body.depends_on_stores();
+        && !engine().is_nested();
 
-    if parallel {
-        // Fan blocks out in contiguous chunks, one per worker, through the
-        // scoped-thread rayon shim; `collect` preserves chunk order, so the
-        // fold below visits blocks in ascending index order no matter which
-        // worker finished first.
-        let ranges = chunk_ranges(geom.n_blocks, threads);
-        let shared_body: &dyn RegionBody = body;
-        let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> = ranges
-            .par_iter()
-            .map(|&(lo, hi)| {
-                (lo..hi)
-                    .map(|b| {
-                        let mut access = BufferedAccess::new(shared_body);
-                        let acc = walk_block(&geom, policy, &mut access, b);
-                        (acc, access.buffer)
-                    })
-                    .collect()
-            })
-            .collect();
-        for (b, (acc, stores)) in per_chunk.into_iter().flatten().enumerate() {
-            exec.merge_block(b as u32, acc);
-            stores.replay(|item, out| body.store(item, out));
+    match (parallel, body.store_visibility()) {
+        (true, StoreVisibility::Independent) => {
+            // Fan blocks out in contiguous chunks, one engine task each;
+            // results come back in chunk order, so the fold below visits
+            // blocks in ascending index order no matter which worker
+            // finished first.
+            let ranges = chunk_ranges(geom.n_blocks, width);
+            let shared_body: &dyn RegionBody = body;
+            let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> =
+                engine().run(ranges.len(), ranges.len(), |k| {
+                    let (lo, hi) = ranges[k];
+                    (lo..hi)
+                        .map(|b| {
+                            let mut access = BufferedAccess::new(shared_body);
+                            let acc = walk_block(&geom, policy, &mut access, b);
+                            (acc, access.buffer)
+                        })
+                        .collect()
+                });
+            for (b, (acc, stores)) in per_chunk.into_iter().flatten().enumerate() {
+                exec.merge_block(b as u32, acc);
+                stores.replay(|item, out| body.store(item, out));
+            }
         }
-    } else {
-        for b in 0..geom.n_blocks {
-            let mut access = InlineAccess { body: &mut *body };
-            let acc = walk_block(&geom, policy, &mut access, b);
-            exec.merge_block(b, acc);
+        (true, StoreVisibility::BlockPrivate) => {
+            // Blocks own disjoint partitions of the body's shared state, so
+            // stores commit inline from each block's worker and the block's
+            // own later reads (Jacobi sweeps) observe them immediately.
+            let ranges = chunk_ranges(geom.n_blocks, width);
+            let shared_body: &dyn RegionBody = body;
+            let per_chunk: Vec<Vec<BlockAccumulator>> =
+                engine().run(ranges.len(), ranges.len(), |k| {
+                    let (lo, hi) = ranges[k];
+                    (lo..hi)
+                        .map(|b| {
+                            let mut access = SharedAccess { body: shared_body };
+                            walk_block(&geom, policy, &mut access, b)
+                        })
+                        .collect()
+                });
+            for (b, acc) in per_chunk.into_iter().flatten().enumerate() {
+                exec.merge_block(b as u32, acc);
+            }
+        }
+        // Sequential reference, or a Global-visibility body that must stay
+        // on it: blocks walked one after another, stores committed inline.
+        _ => {
+            for b in 0..geom.n_blocks {
+                let mut access = InlineAccess { body: &mut *body };
+                let acc = walk_block(&geom, policy, &mut access, b);
+                exec.merge_block(b, acc);
+            }
         }
     }
     Ok(exec.finish())

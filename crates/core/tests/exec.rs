@@ -4,12 +4,13 @@
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig, Schedule};
 use hpac_core::exec::{
     approx_block_tasks, approx_block_tasks_opts, approx_parallel_for, approx_parallel_for_opts,
-    BlockTaskBody, ExecOptions, Executor, RegionBody,
+    engine, BlockTaskBody, ExecOptions, Executor, RegionBody,
 };
 use hpac_core::params::PerfoKind;
 use hpac_core::region::{ApproxRegion, RegionError};
 use hpac_core::HierarchyLevel;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A simple square-root region over an input array.
 struct SqrtBody {
@@ -384,6 +385,88 @@ fn parallel_blocks_matches_sequential_for_all_techniques() {
             "outputs diverged for {region:?}"
         );
     }
+}
+
+/// A body that records which threads executed `compute`.
+struct TracingBody {
+    input: Vec<f64>,
+    output: Vec<f64>,
+    threads_seen: Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+}
+
+impl TracingBody {
+    fn new(n: usize) -> Self {
+        TracingBody {
+            input: (0..n).map(|i| (i % 16) as f64).collect(),
+            output: vec![-1.0; n],
+            threads_seen: Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+}
+
+impl RegionBody for TracingBody {
+    fn out_dim(&self) -> usize {
+        1
+    }
+    fn compute(&self, i: usize, out: &mut [f64]) {
+        self.threads_seen
+            .lock()
+            .unwrap()
+            .insert(std::thread::current().id());
+        out[0] = (self.input[i] + 1.0).sqrt();
+    }
+    fn store(&mut self, i: usize, out: &[f64]) {
+        self.output[i] = out[0];
+    }
+    fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new()
+            .flops(4.0)
+            .global_read(lanes, 8, AccessPattern::Coalesced)
+            .global_write(lanes, 8, AccessPattern::Coalesced)
+    }
+}
+
+#[test]
+fn engine_is_reused_across_launches_no_respawn() {
+    // Launch once to force the pool up to the requested width, then pin
+    // down the observable contract: repeated launches execute on the same
+    // persistent workers — worker ids stay stable, nothing respawns.
+    let opts = parallel(4);
+    {
+        let mut warm = TracingBody::new(N);
+        approx_parallel_for_opts(&spec(), &launch(8), None, &mut warm, &opts).unwrap();
+    }
+    let ids_before = engine().worker_thread_ids();
+    let spawned_before = engine().spawned_workers();
+    assert!(
+        spawned_before >= 3,
+        "width-4 launch should have spawned 3 helpers, saw {spawned_before}"
+    );
+
+    let caller = std::thread::current().id();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..25 {
+        let mut body = TracingBody::new(N);
+        approx_parallel_for_opts(&spec(), &launch(8), None, &mut body, &opts).unwrap();
+        seen.extend(body.threads_seen.into_inner().unwrap());
+    }
+
+    // Every thread that ran kernel work is a pool worker (or the caller,
+    // which always participates in its own batch)...
+    let ids_after = engine().worker_thread_ids();
+    for t in &seen {
+        assert!(
+            *t == caller || ids_after.contains(t),
+            "kernel work ran outside the engine pool"
+        );
+    }
+    // ...and the workers that existed before are still the same threads,
+    // in the same slots: the pool only ever grows, it never respawns.
+    assert_eq!(
+        &ids_after[..ids_before.len()],
+        &ids_before[..],
+        "existing workers were replaced between launches"
+    );
 }
 
 // --- block tasks -----------------------------------------------------------

@@ -7,7 +7,10 @@
 //!
 //! * [`space`] — the paper's Table 2 parameter grids (full) and pruned
 //!   quick variants, per benchmark and device;
-//! * [`runner`] — baseline selection and the parallel sweep executor;
+//! * [`runner`] — baseline selection and the parallel sweep executor
+//!   (configurations fan out as tasks on the shared
+//!   [`hpac_core::exec::engine`] worker pool; kernel launches nested
+//!   inside a config task run inline via the engine's depth guard);
 //! * [`db`] — the results table with CSV persistence;
 //! * [`analyze`] — best-speedup-under-error-cap queries, the paper's
 //!   error-decile overplot reduction, and linear fits (Fig 12c's R²);

@@ -10,8 +10,7 @@ use crate::db::Row;
 use crate::space::{self, Scale, SweepConfig};
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::{AppResult, Benchmark, LaunchParams};
-use hpac_core::exec::ExecOptions;
-use rayon::prelude::*;
+use hpac_core::exec::{engine, ExecOptions};
 
 /// The chosen baseline: launch shape, result, and its timing-basis seconds.
 #[derive(Debug, Clone)]
@@ -107,20 +106,21 @@ pub fn run_config_opts(
 /// Run a benchmark's full sweep plan on one device, in parallel across
 /// configurations.
 ///
-/// This runner owns the host parallelism (one worker per core over the
-/// configurations), so every kernel launch inside it is pinned to the
-/// sequential reference executor — nesting `ParallelBlocks` under the
-/// config fan-out would oversubscribe the machine. For intra-kernel
-/// parallelism use [`run_sweep_serial`] with
-/// [`hpac_core::exec::Executor::ParallelBlocks`] instead.
+/// Configurations are submitted to the shared [`engine`] as one task each.
+/// Kernel launches *inside* a configuration go through the same engine, so
+/// no pinning is needed: the engine's depth guard runs nested block
+/// fan-outs inline on the config task's worker, and the host is never
+/// oversubscribed. For intra-kernel parallelism measurements use
+/// [`run_sweep_serial`], which keeps the configurations serial so the
+/// block executor is the only parallelism in play.
 pub fn run_sweep(bench: &dyn Benchmark, spec: &DeviceSpec, scale: Scale) -> SweepOutcome {
-    let opts = ExecOptions::with_executor(hpac_core::exec::Executor::Sequential);
+    let opts = ExecOptions::default();
     let baseline = select_baseline_opts(bench, spec, &opts);
     let plan = space::plan(bench, spec, scale);
-    let results: Vec<Result<Row, (String, String)>> = plan
-        .par_iter()
-        .map(|cfg| run_config_opts(bench, spec, &baseline, cfg, &opts))
-        .collect();
+    let results: Vec<Result<Row, (String, String)>> =
+        engine().run(plan.len(), engine().default_width(), |i| {
+            run_config_opts(bench, spec, &baseline, &plan[i], &opts)
+        });
 
     let mut rows = Vec::with_capacity(results.len());
     let mut rejected = Vec::new();
@@ -173,14 +173,14 @@ pub fn run_configs(
     spec: &DeviceSpec,
     configs: &[SweepConfig],
 ) -> SweepOutcome {
-    // Config-parallel like `run_sweep`: kernels stay on the sequential
-    // reference executor.
-    let opts = ExecOptions::with_executor(hpac_core::exec::Executor::Sequential);
+    // Config-parallel like `run_sweep`: one engine task per configuration,
+    // nested kernel fan-outs inlined by the engine's depth guard.
+    let opts = ExecOptions::default();
     let baseline = select_baseline_opts(bench, spec, &opts);
-    let results: Vec<Result<Row, (String, String)>> = configs
-        .par_iter()
-        .map(|cfg| run_config_opts(bench, spec, &baseline, cfg, &opts))
-        .collect();
+    let results: Vec<Result<Row, (String, String)>> =
+        engine().run(configs.len(), engine().default_width(), |i| {
+            run_config_opts(bench, spec, &baseline, &configs[i], &opts)
+        });
     let mut rows = Vec::new();
     let mut rejected = Vec::new();
     for r in results {

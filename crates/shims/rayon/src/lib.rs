@@ -1,137 +1,19 @@
-//! Offline stand-in for `rayon`.
+//! The workspace's persistent worker pool (named for the `rayon` crate it
+//! once shimmed).
 //!
-//! Implements the slice parallelism the workspace uses — `par_iter()`
-//! followed by `map(..)` and an order-preserving `collect()` — on top of
-//! `std::thread::scope`. Work is split into one contiguous chunk per
-//! available core; each sweep configuration is orders of magnitude more
-//! expensive than the spawn overhead, so chunked scoped threads recover
-//! essentially all of rayon's benefit here without a work-stealing pool.
+//! Earlier revisions exposed a rayon-compatible
+//! `par_iter().map(..).collect()` surface implemented on fresh
+//! `std::thread::scope` threads per call. Every caller has since migrated
+//! to the `ExecEngine` (`hpac_core::exec::engine`), which fronts the
+//! [`pool`] module here, so the compatibility layer is gone: this crate is
+//! now exactly the reusable pool abstraction — spawn-once workers, scoped
+//! batch submission, deterministic join order, and the nested-submission
+//! depth guard. See [`pool`] for the full contract.
+//!
+//! The motivation is the HPAC-Offload argument itself: approximation (or
+//! any per-launch win) only pays if the runtime does not tax every
+//! invocation. Spawning threads per kernel launch taxed exactly the
+//! many-small-kernel applications the paper accelerates; the pool pays the
+//! spawn cost once per process.
 
-pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
-}
-
-/// Entry point: `items.par_iter()` on slices and `Vec`s (via deref).
-pub trait IntoParallelRefIterator<'a> {
-    type Item: Sync + 'a;
-    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
-    type Item = T;
-    fn par_iter(&'a self) -> ParIter<'a, T> {
-        ParIter { items: self }
-    }
-}
-
-/// Borrowed parallel iterator over a slice.
-pub struct ParIter<'a, T> {
-    items: &'a [T],
-}
-
-impl<'a, T: Sync> ParIter<'a, T> {
-    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
-    where
-        F: Fn(&'a T) -> R + Sync,
-        R: Send,
-    {
-        ParMap {
-            items: self.items,
-            f,
-        }
-    }
-}
-
-/// A mapped parallel iterator; `collect` executes it.
-pub struct ParMap<'a, T, F> {
-    items: &'a [T],
-    f: F,
-}
-
-impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    pub fn collect<R, C>(self) -> C
-    where
-        F: Fn(&'a T) -> R + Sync,
-        R: Send,
-        C: FromIterator<R>,
-    {
-        let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            .min(n.max(1));
-        let f = &self.f;
-        if threads <= 1 {
-            return self.items.iter().map(f).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("rayon-shim worker panicked"));
-            }
-        });
-        parts.into_iter().flatten().collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::prelude::*;
-
-    #[test]
-    fn collect_preserves_order() {
-        let items: Vec<usize> = (0..10_000).collect();
-        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(doubled.len(), items.len());
-        for (i, v) in doubled.iter().enumerate() {
-            assert_eq!(*v, i * 2);
-        }
-    }
-
-    #[test]
-    fn works_on_slices_and_results() {
-        let items = [1i64, -2, 3];
-        let r: Vec<Result<i64, String>> = items
-            .par_iter()
-            .map(|&x| if x > 0 { Ok(x) } else { Err("neg".to_string()) })
-            .collect();
-        assert_eq!(r, vec![Ok(1), Err("neg".to_string()), Ok(3)]);
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let items: Vec<u8> = Vec::new();
-        let out: Vec<u8> = items.par_iter().map(|&x| x).collect();
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn actually_runs_in_parallel_threads() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let ids = Mutex::new(HashSet::new());
-        let items: Vec<usize> = (0..256).collect();
-        let _out: Vec<()> = items
-            .par_iter()
-            .map(|_| {
-                ids.lock().unwrap().insert(std::thread::current().id());
-                std::thread::sleep(std::time::Duration::from_micros(100));
-            })
-            .collect();
-        let n = ids.lock().unwrap().len();
-        // With >1 core available the chunks must land on >1 thread.
-        if std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            > 1
-        {
-            assert!(n > 1, "expected multiple worker threads, saw {n}");
-        }
-    }
-}
+pub mod pool;

@@ -94,7 +94,10 @@ impl TunedPlan {
 
     /// [`TunedPlan::execute`] with explicit execution options: both the
     /// baseline and the chosen configuration run through the staged
-    /// pipeline on the selected executor.
+    /// pipeline on the selected executor — under
+    /// [`Executor::ParallelBlocks`](hpac_core::exec::Executor) each
+    /// launch fans its blocks out on the shared persistent
+    /// [`engine`](hpac_core::exec::engine) worker pool.
     pub fn execute_opts(
         &self,
         bench: &dyn Benchmark,

@@ -23,12 +23,12 @@ use crate::grid::Grid;
 use crate::pareto::{ParetoFrontier, ParetoPoint};
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::{Benchmark, LaunchParams};
+use hpac_core::exec::engine;
 use hpac_core::region::ApproxRegion;
 use hpac_harness::runner::{self, Baseline};
 use hpac_harness::space::SweepConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// How the tuner walks a technique grid.
@@ -107,10 +107,11 @@ impl<'a> Evaluator<'a> {
         self.seen.get(label).and_then(|o| o.as_ref())
     }
 
-    /// Evaluate a batch, running fresh configurations in parallel. Returns
-    /// one outcome per input configuration (memoized results included);
-    /// fresh work beyond the remaining budget is skipped and reported as
-    /// `None`.
+    /// Evaluate a batch, running fresh configurations in parallel on the
+    /// shared [`engine`] (nested kernel fan-outs run inline on each config
+    /// task's worker). Returns one outcome per input configuration
+    /// (memoized results included); fresh work beyond the remaining budget
+    /// is skipped and reported as `None`.
     pub fn eval_batch(&mut self, configs: &[SweepConfig]) -> Vec<Option<Evaluated>> {
         let mut fresh: Vec<&SweepConfig> = Vec::new();
         for cfg in configs {
@@ -122,9 +123,9 @@ impl<'a> Evaluator<'a> {
             }
         }
         let (bench, spec, baseline) = (self.bench, self.spec, self.baseline);
-        let outcomes: Vec<Option<Evaluated>> = fresh
-            .par_iter()
-            .map(|cfg| {
+        let outcomes: Vec<Option<Evaluated>> =
+            engine().run(fresh.len(), engine().default_width(), |i| {
+                let cfg = fresh[i];
                 runner::run_config(bench, spec, baseline, cfg)
                     .ok()
                     .map(|row| Evaluated {
@@ -134,8 +135,7 @@ impl<'a> Evaluator<'a> {
                         speedup: row.speedup,
                         error_pct: row.error_pct,
                     })
-            })
-            .collect();
+            });
         self.evaluations += fresh.len();
         for (cfg, outcome) in fresh.iter().zip(outcomes) {
             if let Some(ev) = &outcome {

@@ -9,8 +9,8 @@
 
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, KernelRecord, LaunchConfig};
 use hpac_offload::core::exec::{
-    approx_block_tasks_opts, approx_parallel_for_opts, BlockTaskBody, ExecOptions, Executor,
-    RegionBody,
+    approx_block_tasks_opts, approx_parallel_for_opts, engine, BlockTaskBody, ExecOptions,
+    Executor, RegionBody,
 };
 use hpac_offload::core::params::PerfoKind;
 use hpac_offload::core::{ApproxRegion, HierarchyLevel};
@@ -167,6 +167,71 @@ proptest! {
             prop_assert_eq!(r_seq, r_par);
             for (a, b) in out_seq.iter().zip(&out_par) {
                 prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The two granularities nest: configuration tasks fan out on the
+    /// engine, and each one launches `ParallelBlocks` kernels from inside
+    /// its task. The depth guard must run those nested block fan-outs
+    /// inline, and the whole composition must stay bit-identical to a
+    /// plain sequential loop over sequential launches.
+    #[test]
+    fn nested_config_tasks_bit_identical_to_sequential(
+        n in 64usize..3_000,
+        warps in 1u32..4,
+        ipt in 1usize..24,
+        seed in 1u64..1_000_000,
+        workers in 2usize..6,
+        level_idx in 0usize..3,
+    ) {
+        let spec = DeviceSpec::v100();
+        let lc = LaunchConfig::for_items_per_thread(n, warps * 32, ipt);
+        let configs = regions(level_idx, 4, 0.3);
+
+        // Reference: every config sequential, one after another.
+        let seq_opts = ExecOptions {
+            executor: Executor::Sequential,
+            ..ExecOptions::default()
+        };
+        let reference: Vec<Option<RunResult>> = configs
+            .iter()
+            .map(|region| {
+                let mut body = MixBody::new(n, seed);
+                approx_parallel_for_opts(&spec, &lc, region.as_ref(), &mut body, &seq_opts)
+                    .ok()
+                    .map(|rec| (rec, body.output))
+            })
+            .collect();
+
+        // Config tasks on the engine, each launching ParallelBlocks.
+        let par_opts = ExecOptions {
+            executor: Executor::ParallelBlocks,
+            threads: Some(workers),
+            ..ExecOptions::default()
+        };
+        let nested: Vec<Option<RunResult>> = engine().run(configs.len(), workers, |i| {
+            let mut body = MixBody::new(n, seed);
+            approx_parallel_for_opts(&spec, &lc, configs[i].as_ref(), &mut body, &par_opts)
+                .ok()
+                .map(|rec| (rec, body.output))
+        });
+
+        for (k, (a, b)) in reference.iter().zip(&nested).enumerate() {
+            match (a, b) {
+                (None, None) => {}
+                (Some((r_seq, out_seq)), Some((r_par, out_par))) => {
+                    prop_assert_eq!(r_seq, r_par, "record diverged for config {}", k);
+                    for (x, y) in out_seq.iter().zip(out_par) {
+                        prop_assert!(
+                            x.to_bits() == y.to_bits(),
+                            "output diverged under {:?}", configs[k]
+                        );
+                    }
+                }
+                _ => prop_assert!(false, "acceptance diverged for config {}", k),
             }
         }
     }
