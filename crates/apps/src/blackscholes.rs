@@ -100,6 +100,10 @@ pub fn price_call(spot: f64, strike: f64, rate: f64, vol: f64, t: f64) -> f64 {
 }
 
 /// The approximated region: one option's full price calculation.
+///
+/// No [`ComputeMemo`](crate::common::ComputeMemo) here, deliberately: the
+/// closed-form price is a handful of special-function calls, cheaper than
+/// the row-interning hash itself (unlike Binomial's O(n²) lattice walk).
 struct BsBody<'a> {
     options: &'a [f64],
     prices: Vec<f64>,

@@ -1,11 +1,13 @@
 //! Shared application plumbing: results, QoI comparison, launch parameters,
-//! and the [`Benchmark`] trait the harness drives.
+//! compute interning, and the [`Benchmark`] trait the harness drives.
 
 use gpu_sim::transfer::{self, Direction};
 use gpu_sim::{CostProfile, DeviceSpec, KernelExec, KernelRecord, KernelStats, LaunchConfig};
 use hpac_core::exec::ExecOptions;
 use hpac_core::metrics;
 use hpac_core::region::{ApproxRegion, RegionError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Launch-shape parameters swept by the paper's design-space exploration
 /// (the `num_teams`-derived "Items per Thread" and the block size).
@@ -146,6 +148,83 @@ impl RunAccumulator {
     }
 }
 
+/// Interning cache for pure per-item compute over datasets with duplicated
+/// rows (the portfolio generators tile `distinct` base rows `run_len`
+/// times).
+///
+/// Rows are classed by their exact input bit patterns at construction; each
+/// class's output is produced at most once and replayed for every later
+/// item of the class. Because the region bodies' `compute` is pure in the
+/// input row, replaying the cached output is bit-identical to recomputing
+/// it — the simulator still *charges* every accurate execution through the
+/// body's cost profile, so modeled timing and statistics are untouched;
+/// only host wall-clock drops. Outputs live in relaxed atomics (bit
+/// patterns) behind an acquire/release filled flag, so parallel block
+/// workers can fill and read classes concurrently; a racing double-fill
+/// writes the same bits twice.
+pub struct ComputeMemo {
+    class_of: Vec<u32>,
+    n_classes: usize,
+    out_dim: usize,
+    filled: Vec<AtomicBool>,
+    slots: Vec<AtomicU64>,
+}
+
+impl ComputeMemo {
+    /// Class the items of `rows` (row-major, `dims` scalars each) by exact
+    /// bit equality.
+    pub fn from_rows(rows: &[f64], dims: usize, out_dim: usize) -> Self {
+        assert!(dims > 0 && out_dim > 0);
+        let n = rows.len() / dims;
+        // Key the map on slices of one shared bits buffer instead of a
+        // fresh Vec per row — interning must stay cheap relative to the
+        // computes it elides.
+        let bits: Vec<u64> = rows.iter().map(|v| v.to_bits()).collect();
+        let mut ids: HashMap<&[u64], u32> = HashMap::new();
+        let class_of: Vec<u32> = (0..n)
+            .map(|i| {
+                let key = &bits[i * dims..(i + 1) * dims];
+                let next = ids.len() as u32;
+                *ids.entry(key).or_insert(next)
+            })
+            .collect();
+        let n_classes = ids.len();
+        ComputeMemo {
+            class_of,
+            n_classes,
+            out_dim,
+            filled: (0..n_classes).map(|_| AtomicBool::new(false)).collect(),
+            slots: (0..n_classes * out_dim)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Distinct input rows found.
+    pub fn classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Produce item `i`'s output into `out`: from the cache when its class
+    /// has been computed, else by running `compute` and caching the result.
+    pub fn get_or(&self, i: usize, out: &mut [f64], compute: impl FnOnce(&mut [f64])) {
+        debug_assert_eq!(out.len(), self.out_dim);
+        let c = self.class_of[i] as usize;
+        let base = c * self.out_dim;
+        if self.filled[c].load(Ordering::Acquire) {
+            for (d, o) in out.iter_mut().enumerate() {
+                *o = f64::from_bits(self.slots[base + d].load(Ordering::Relaxed));
+            }
+            return;
+        }
+        compute(out);
+        for (d, o) in out.iter().enumerate() {
+            self.slots[base + d].store(o.to_bits(), Ordering::Relaxed);
+        }
+        self.filled[c].store(true, Ordering::Release);
+    }
+}
+
 /// Charge a uniform, non-approximated kernel (per-item cost `cost`) without
 /// functionally iterating items — used for accurate helper kernels whose
 /// outputs the app computes host-side (reductions, centroid updates).
@@ -282,6 +361,34 @@ mod tests {
         };
         assert_eq!(r.timing_basis_seconds(true), 1.0);
         assert_eq!(r.timing_basis_seconds(false), 6.0);
+    }
+
+    #[test]
+    fn compute_memo_interns_by_exact_bits() {
+        let rows = vec![1.0, 2.0, 1.0, 2.0, 3.0, 4.0, 1.0, 2.0];
+        let memo = ComputeMemo::from_rows(&rows, 2, 1);
+        assert_eq!(memo.classes(), 2);
+        let mut calls = 0;
+        let mut got = Vec::new();
+        for i in 0..4 {
+            let mut out = [0.0];
+            memo.get_or(i, &mut out, |o| {
+                calls += 1;
+                o[0] = rows[i * 2] + 10.0 * rows[i * 2 + 1];
+            });
+            got.push(out[0]);
+        }
+        assert_eq!(calls, 2, "each class computes once");
+        assert_eq!(got, vec![21.0, 21.0, 43.0, 21.0]);
+    }
+
+    #[test]
+    fn compute_memo_distinguishes_negative_zero() {
+        // Bit-exact classing: -0.0 and 0.0 compare equal but are different
+        // inputs to sign-sensitive compute.
+        let rows = vec![0.0, -0.0];
+        let memo = ComputeMemo::from_rows(&rows, 1, 1);
+        assert_eq!(memo.classes(), 2);
     }
 
     #[test]

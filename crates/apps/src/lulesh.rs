@@ -22,7 +22,8 @@
 use crate::common::{AppResult, Benchmark, LaunchParams, QoI, RunAccumulator};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
-use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
+use hpac_core::exec::batch;
+use hpac_core::exec::{BlockField, ExecOptions, RegionBody, StoreVisibility};
 use hpac_core::region::{ApproxRegion, RegionError};
 
 /// Configuration for the LULESH proxy.
@@ -53,6 +54,13 @@ impl Default for Lulesh {
 }
 
 /// Mesh connectivity and mutable simulation state.
+///
+/// Written fields live in [`BlockField`]s so the five per-timestep kernels
+/// can run as one engine batch ([`batch::run_batch`]): bodies then share
+/// the mesh immutably and commit stores through `store_shared`, with the
+/// engine's phase barriers providing the kernel-to-kernel happens-before.
+/// Vector-valued fields are flattened `[x, y, z]` rows — see [`get3`] /
+/// [`set3`].
 pub struct Mesh {
     pub edge: usize,
     pub n_elems: usize,
@@ -62,23 +70,35 @@ pub struct Mesh {
     /// For each node, (element, corner) pairs that touch it.
     pub node_elems: Vec<Vec<(usize, usize)>>,
     // Node-centred state.
-    pub pos: Vec<[f64; 3]>,
-    pub vel: Vec<[f64; 3]>,
-    pub force: Vec<[f64; 3]>,
+    pub pos: BlockField,
+    pub vel: BlockField,
+    pub force: BlockField,
     pub mass: Vec<f64>,
     // Element-centred state.
-    pub energy: Vec<f64>,
-    pub pressure: Vec<f64>,
-    pub visc: Vec<f64>,
-    pub volume: Vec<f64>,
+    pub energy: BlockField,
+    pub pressure: BlockField,
+    pub visc: BlockField,
+    pub volume: BlockField,
     pub vol0: Vec<f64>,
     /// Volume change of the last EOS update (feeds the next viscosity calc).
-    pub delv: Vec<f64>,
+    pub delv: BlockField,
     // Per-element force contributions (stress + hourglass).
-    pub stress_f: Vec<[f64; 3]>,
-    pub hg_f: Vec<[f64; 3]>,
+    pub stress_f: BlockField,
+    pub hg_f: BlockField,
     // Hourglass control coefficients (output of the first approx kernel).
-    pub hg_coef: Vec<[f64; 3]>,
+    pub hg_coef: BlockField,
+}
+
+/// Read row `i` of a flattened `[f64; 3]` field.
+pub fn get3(f: &BlockField, i: usize) -> [f64; 3] {
+    [f.get(3 * i), f.get(3 * i + 1), f.get(3 * i + 2)]
+}
+
+/// Write row `i` of a flattened `[f64; 3]` field.
+pub fn set3(f: &BlockField, i: usize, v: [f64; 3]) {
+    f.set(3 * i, v[0]);
+    f.set(3 * i + 1, v[1]);
+    f.set(3 * i + 2, v[2]);
 }
 
 /// Corner offsets in x-fastest order.
@@ -140,11 +160,11 @@ impl Mesh {
             }
         }
 
-        let mut pos = Vec::with_capacity(n_nodes);
+        let mut pos = Vec::with_capacity(3 * n_nodes);
         for z in 0..nn {
             for y in 0..nn {
                 for x in 0..nn {
-                    pos.push([x as f64 * h, y as f64 * h, z as f64 * h]);
+                    pos.extend_from_slice(&[x as f64 * h, y as f64 * h, z as f64 * h]);
                 }
             }
         }
@@ -166,19 +186,19 @@ impl Mesh {
             n_nodes,
             corners,
             node_elems,
-            pos,
-            vel: vec![[0.0; 3]; n_nodes],
-            force: vec![[0.0; 3]; n_nodes],
+            pos: BlockField::from_vec(pos),
+            vel: BlockField::from_vec(vec![0.0; 3 * n_nodes]),
+            force: BlockField::from_vec(vec![0.0; 3 * n_nodes]),
             mass,
-            energy,
-            pressure: vec![0.0; n_elems],
-            visc: vec![0.0; n_elems],
-            volume: vol0.clone(),
+            energy: BlockField::from_vec(energy),
+            pressure: BlockField::from_vec(vec![0.0; n_elems]),
+            visc: BlockField::from_vec(vec![0.0; n_elems]),
+            volume: BlockField::from_vec(vol0.clone()),
             vol0,
-            delv: vec![0.0; n_elems],
-            stress_f: vec![[0.0; 3]; n_elems],
-            hg_f: vec![[0.0; 3]; n_elems],
-            hg_coef: vec![[0.0; 3]; n_elems],
+            delv: BlockField::from_vec(vec![0.0; n_elems]),
+            stress_f: BlockField::from_vec(vec![0.0; 3 * n_elems]),
+            hg_f: BlockField::from_vec(vec![0.0; 3 * n_elems]),
+            hg_coef: BlockField::from_vec(vec![0.0; 3 * n_elems]),
         }
     }
 
@@ -187,10 +207,10 @@ impl Mesh {
     /// rectilinear mesh and a good proxy under small deformation).
     pub fn elem_volume(&self, e: usize) -> f64 {
         let c = &self.corners[e];
-        let p0 = self.pos[c[0]];
-        let a = sub(self.pos[c[1]], p0);
-        let b = sub(self.pos[c[2]], p0);
-        let d = sub(self.pos[c[4]], p0);
+        let p0 = get3(&self.pos, c[0]);
+        let a = sub(get3(&self.pos, c[1]), p0);
+        let b = sub(get3(&self.pos, c[2]), p0);
+        let d = sub(get3(&self.pos, c[4]), p0);
         (a[0] * (b[1] * d[2] - b[2] * d[1]) - a[1] * (b[0] * d[2] - b[2] * d[0])
             + a[2] * (b[0] * d[1] - b[1] * d[0]))
             .abs()
@@ -200,8 +220,9 @@ impl Mesh {
     fn mean_corner_vel(&self, e: usize) -> [f64; 3] {
         let mut m = [0.0; 3];
         for &n in &self.corners[e] {
+            let v = get3(&self.vel, n);
             for (d, md) in m.iter_mut().enumerate() {
-                *md += self.vel[n][d];
+                *md += v[d];
             }
         }
         for v in &mut m {
@@ -215,8 +236,9 @@ impl Mesh {
         let mut m = [0.0; 3];
         for (k, &n) in self.corners[e].iter().enumerate() {
             let s = hg_sign(k);
+            let v = get3(&self.vel, n);
             for (d, md) in m.iter_mut().enumerate() {
-                *md += s * self.vel[n][d];
+                *md += s * v[d];
             }
         }
         for v in &mut m {
@@ -237,7 +259,7 @@ fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
 /// the proxy at two approximated element kernels, as the paper evaluates,
 /// while making their outputs load-bearing for the blast QoI.)
 struct HgControlBody<'a> {
-    mesh: &'a mut Mesh,
+    mesh: &'a Mesh,
     hgcoef: f64,
     dt: f64,
 }
@@ -252,25 +274,28 @@ impl RegionBody for HgControlBody<'_> {
     }
 
     fn inputs(&self, e: usize, buf: &mut [f64]) {
-        buf[0] = self.mesh.volume[e] / self.mesh.vol0[e];
-        buf[1] = self.mesh.energy[e];
-        buf[2] = self.mesh.pressure[e];
-        buf[3] = self.mesh.delv[e] / self.mesh.vol0[e];
+        buf[0] = self.mesh.volume.get(e) / self.mesh.vol0[e];
+        buf[1] = self.mesh.energy.get(e);
+        buf[2] = self.mesh.pressure.get(e);
+        buf[3] = self.mesh.delv.get(e) / self.mesh.vol0[e];
     }
 
     fn compute(&self, e: usize, out: &mut [f64]) {
         let m = &self.mesh;
-        let vol = m.volume[e];
+        let vol = m.volume.get(e);
         let dens = m.vol0[e] / vol.max(1e-12);
         // Sound speed from the ideal-gas EOS; the coefficient scales with
         // rho * c * characteristic area (standard Flanagan-Belytschko).
-        let ss = ((m.pressure[e] + 1e-12) / dens.max(1e-12)).sqrt().max(1e-6);
+        let ss = ((m.pressure.get(e) + 1e-12) / dens.max(1e-12))
+            .sqrt()
+            .max(1e-6);
         let length = vol.cbrt();
         let coef = self.hgcoef * dens * ss * length * length;
         // Artificial viscosity: quadratic in the compression velocity
         // u_c = (|ΔV|/V) · (l/Δt), the standard von Neumann–Richtmyer form.
-        let q = if m.delv[e] < 0.0 {
-            let strain_rate = -m.delv[e] / vol.max(1e-12);
+        let delv = m.delv.get(e);
+        let q = if delv < 0.0 {
+            let strain_rate = -delv / vol.max(1e-12);
             let u_c = strain_rate * length / self.dt;
             2.0 * dens * u_c * u_c
         } else {
@@ -282,8 +307,16 @@ impl RegionBody for HgControlBody<'_> {
     }
 
     fn store(&mut self, e: usize, out: &[f64]) {
-        self.mesh.hg_coef[e] = [out[0], out[0], out[0]];
-        self.mesh.visc[e] = out[1];
+        self.store_shared(e, out);
+    }
+
+    fn store_visibility(&self) -> StoreVisibility {
+        StoreVisibility::BlockPrivate
+    }
+
+    fn store_shared(&self, e: usize, out: &[f64]) {
+        set3(&self.mesh.hg_coef, e, [out[0], out[0], out[0]]);
+        self.mesh.visc.set(e, out[1]);
     }
 
     fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
@@ -306,7 +339,7 @@ impl RegionBody for HgControlBody<'_> {
 /// Approximated kernel 2: `CalcFBHourglassForceForElems` — the
 /// Flanagan-Belytschko antihourglass force from nodal velocities.
 struct HgForceBody<'a> {
-    mesh: &'a mut Mesh,
+    mesh: &'a Mesh,
 }
 
 impl RegionBody for HgForceBody<'_> {
@@ -320,14 +353,14 @@ impl RegionBody for HgForceBody<'_> {
 
     fn inputs(&self, e: usize, buf: &mut [f64]) {
         let hv = self.mesh.hg_mode_vel(e);
-        buf[0] = self.mesh.hg_coef[e][0];
+        buf[0] = self.mesh.hg_coef.get(3 * e);
         buf[1] = hv[0];
         buf[2] = hv[1];
         buf[3] = hv[2];
     }
 
     fn compute(&self, e: usize, out: &mut [f64]) {
-        let coef = self.mesh.hg_coef[e];
+        let coef = get3(&self.mesh.hg_coef, e);
         let hv = self.mesh.hg_mode_vel(e);
         let mv = self.mesh.mean_corner_vel(e);
         // Damping force opposing the hourglass mode plus the linear bulk
@@ -339,7 +372,15 @@ impl RegionBody for HgForceBody<'_> {
     }
 
     fn store(&mut self, e: usize, out: &[f64]) {
-        self.mesh.hg_f[e] = [out[0], out[1], out[2]];
+        self.store_shared(e, out);
+    }
+
+    fn store_visibility(&self) -> StoreVisibility {
+        StoreVisibility::BlockPrivate
+    }
+
+    fn store_shared(&self, e: usize, out: &[f64]) {
+        set3(&self.mesh.hg_f, e, [out[0], out[1], out[2]]);
     }
 
     fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
@@ -360,7 +401,7 @@ impl RegionBody for HgForceBody<'_> {
 
 /// Accurate per-element stress force (σ = -p - q, pushing corners outward).
 struct StressBody<'a> {
-    mesh: &'a mut Mesh,
+    mesh: &'a Mesh,
     area: f64,
 }
 
@@ -371,7 +412,7 @@ impl RegionBody for StressBody<'_> {
 
     fn compute(&self, e: usize, out: &mut [f64]) {
         let m = &self.mesh;
-        let sig = m.pressure[e] + m.visc[e];
+        let sig = m.pressure.get(e) + m.visc.get(e);
         let f = sig * self.area;
         out[0] = f;
         out[1] = f;
@@ -379,7 +420,15 @@ impl RegionBody for StressBody<'_> {
     }
 
     fn store(&mut self, e: usize, out: &[f64]) {
-        self.mesh.stress_f[e] = [out[0], out[1], out[2]];
+        self.store_shared(e, out);
+    }
+
+    fn store_visibility(&self) -> StoreVisibility {
+        StoreVisibility::BlockPrivate
+    }
+
+    fn store_shared(&self, e: usize, out: &[f64]) {
+        set3(&self.mesh.stress_f, e, [out[0], out[1], out[2]]);
     }
 
     fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
@@ -392,7 +441,7 @@ impl RegionBody for StressBody<'_> {
 
 /// Accurate node kernel: gather element forces, integrate kinematics.
 struct NodeBody<'a> {
-    mesh: &'a mut Mesh,
+    mesh: &'a Mesh,
     dt: f64,
 }
 
@@ -405,26 +454,37 @@ impl RegionBody for NodeBody<'_> {
         let m = &self.mesh;
         let mut f = [0.0; 3];
         for &(e, corner) in &m.node_elems[n] {
+            let sf = get3(&m.stress_f, e);
+            let hf = get3(&m.hg_f, e);
             for (d, fd) in f.iter_mut().enumerate() {
                 // Stress pushes corners outward; the hourglass/viscous
                 // damping force applies uniformly to the element's corners
                 // (a checkerboard application would cancel between adjacent
                 // elements on smooth fields and decouple the kernel from
                 // the QoI).
-                *fd += m.stress_f[e][d] * stress_sign(corner, d) + m.hg_f[e][d];
+                *fd += sf[d] * stress_sign(corner, d) + hf[d];
             }
         }
         out.copy_from_slice(&f);
     }
 
     fn store(&mut self, n: usize, out: &[f64]) {
-        let m = &mut *self.mesh;
-        m.force[n] = [out[0], out[1], out[2]];
+        self.store_shared(n, out);
+    }
+
+    fn store_visibility(&self) -> StoreVisibility {
+        StoreVisibility::BlockPrivate
+    }
+
+    fn store_shared(&self, n: usize, out: &[f64]) {
+        let m = self.mesh;
+        set3(&m.force, n, [out[0], out[1], out[2]]);
         let inv_m = 1.0 / m.mass[n];
         for (d, &o) in out.iter().enumerate() {
             let a = o * inv_m;
-            m.vel[n][d] += a * self.dt;
-            m.pos[n][d] += m.vel[n][d] * self.dt;
+            let v = m.vel.get(3 * n + d) + a * self.dt;
+            m.vel.set(3 * n + d, v);
+            m.pos.set(3 * n + d, m.pos.get(3 * n + d) + v * self.dt);
         }
     }
 
@@ -438,7 +498,7 @@ impl RegionBody for NodeBody<'_> {
 
 /// Accurate element EOS/volume update.
 struct EosBody<'a> {
-    mesh: &'a mut Mesh,
+    mesh: &'a Mesh,
 }
 
 impl RegionBody for EosBody<'_> {
@@ -449,13 +509,13 @@ impl RegionBody for EosBody<'_> {
     fn compute(&self, e: usize, out: &mut [f64]) {
         let m = &self.mesh;
         let vnew = m.elem_volume(e);
-        let delv = vnew - m.volume[e];
+        let delv = vnew - m.volume.get(e);
         // Compression work dE = -(p + q) dV with the (approximated) q from
         // the hourglass-control kernel; with the ideal-gas pressure
         // p = (γ-1) e / V below, free expansion is adiabatic (e ∝ V^{1-γ})
         // and energy stays positive.
-        let work = -(m.pressure[e] + m.visc[e]) * delv;
-        let e_new = (m.energy[e] + work).max(0.0);
+        let work = -(m.pressure.get(e) + m.visc.get(e)) * delv;
+        let e_new = (m.energy.get(e) + work).max(0.0);
         let p_new = (2.0 / 3.0) * e_new / vnew.max(1e-12);
         out[0] = vnew;
         out[1] = e_new;
@@ -464,11 +524,19 @@ impl RegionBody for EosBody<'_> {
     }
 
     fn store(&mut self, e: usize, out: &[f64]) {
-        let m = &mut *self.mesh;
-        m.volume[e] = out[0];
-        m.energy[e] = out[1];
-        m.pressure[e] = out[2];
-        m.delv[e] = out[3];
+        self.store_shared(e, out);
+    }
+
+    fn store_visibility(&self) -> StoreVisibility {
+        StoreVisibility::BlockPrivate
+    }
+
+    fn store_shared(&self, e: usize, out: &[f64]) {
+        let m = self.mesh;
+        m.volume.set(e, out[0]);
+        m.energy.set(e, out[1]);
+        m.pressure.set(e, out[2]);
+        m.delv.set(e, out[3]);
     }
 
     fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
@@ -492,7 +560,7 @@ impl Benchmark for Lulesh {
         lp: &LaunchParams,
         opts: &ExecOptions,
     ) -> Result<AppResult, RegionError> {
-        let mut mesh = Mesh::new(self);
+        let mesh = Mesh::new(self);
         let n_elems = mesh.n_elems;
         let n_nodes = mesh.n_nodes;
         let area = (1.0 / self.edge as f64).powi(2);
@@ -509,52 +577,45 @@ impl Benchmark for Lulesh {
         let node_launch = LaunchConfig::one_item_per_thread(n_nodes, lp.block_size);
         let elem_acc_launch = LaunchConfig::one_item_per_thread(n_elems, lp.block_size);
 
+        // All five kernels of a timestep go down as ONE engine submission
+        // ([`batch::run_batch`]); the engine's phase barriers serialize the
+        // kernels (2 reads hg_coef from 1, 3 reads visc from 1, 4 reads
+        // stress_f/hg_f from 3/2, 5 reads pos from 4) while blocks within
+        // each kernel still fan out, so workers never park and respawn
+        // between the five launches.
+        let hg_control = HgControlBody {
+            mesh: &mesh,
+            hgcoef: self.hgcoef,
+            dt: self.dt,
+        };
+        let hg_force = HgForceBody { mesh: &mesh };
+        let stress = StressBody { mesh: &mesh, area };
+        let node = NodeBody {
+            mesh: &mesh,
+            dt: self.dt,
+        };
+        let eos = EosBody { mesh: &mesh };
         for _ in 0..self.steps {
-            // 1. Hourglass control + artificial viscosity (approximated).
-            {
-                let mut body = HgControlBody {
-                    mesh: &mut mesh,
-                    hgcoef: self.hgcoef,
-                    dt: self.dt,
-                };
-                let rec = approx_parallel_for_opts(spec, &elem_launch, region, &mut body, opts)?;
-                acc.kernel(&rec);
-            }
-            // 2. FB hourglass force (approximated).
-            {
-                let mut body = HgForceBody { mesh: &mut mesh };
-                let rec = approx_parallel_for_opts(spec, &elem_launch, region, &mut body, opts)?;
-                acc.kernel(&rec);
-            }
-            // 3. Stress force (accurate).
-            {
-                let mut body = StressBody {
-                    mesh: &mut mesh,
-                    area,
-                };
-                let rec = approx_parallel_for_opts(spec, &elem_acc_launch, None, &mut body, opts)?;
-                acc.kernel(&rec);
-            }
-            // 4. Node gather + integration (accurate).
-            {
-                let mut body = NodeBody {
-                    mesh: &mut mesh,
-                    dt: self.dt,
-                };
-                let rec = approx_parallel_for_opts(spec, &node_launch, None, &mut body, opts)?;
-                acc.kernel(&rec);
-            }
-            // 5. EOS / volume update (accurate).
-            {
-                let mut body = EosBody { mesh: &mut mesh };
-                let rec = approx_parallel_for_opts(spec, &elem_acc_launch, None, &mut body, opts)?;
+            let kernels = [
+                // 1. Hourglass control + artificial viscosity (approximated).
+                batch::prepare(spec, &elem_launch, region, &hg_control, opts)?,
+                // 2. FB hourglass force (approximated).
+                batch::prepare(spec, &elem_launch, region, &hg_force, opts)?,
+                // 3. Stress force (accurate).
+                batch::prepare(spec, &elem_acc_launch, None, &stress, opts)?,
+                // 4. Node gather + integration (accurate).
+                batch::prepare(spec, &node_launch, None, &node, opts)?,
+                // 5. EOS / volume update (accurate).
+                batch::prepare(spec, &elem_acc_launch, None, &eos, opts)?,
+            ];
+            for rec in batch::run_batch(spec, &kernels, opts)? {
                 acc.kernel(&rec);
             }
         }
 
         acc.transfer(spec, (n_elems * 8) as u64, Direction::DeviceToHost);
         // QoI: final origin energy.
-        let qoi = QoI::Values(vec![mesh.energy[0]]);
+        let qoi = QoI::Values(vec![mesh.energy.get(0)]);
         Ok(acc.finish(qoi, None))
     }
 }
@@ -628,6 +689,36 @@ mod tests {
         let a = cfg.run(&spec(), None, &LaunchParams::new(8, 128)).unwrap();
         let b = cfg.run(&spec(), None, &LaunchParams::new(8, 128)).unwrap();
         assert_eq!(a.qoi, b.qoi);
+    }
+
+    #[test]
+    fn batched_step_agrees_across_executors() {
+        // The five batched kernels must give bit-identical records and QoI
+        // under every executor: the phase barriers are the only ordering
+        // the step's dependency chain needs.
+        use hpac_core::exec::Executor;
+        let cfg = small();
+        let lp = LaunchParams::new(8, 128);
+        let region = ApproxRegion::memo_out(2, 8, 0.5);
+        let runs: Vec<_> = [
+            Executor::Sequential,
+            Executor::ParallelBlocks,
+            Executor::Auto,
+        ]
+        .into_iter()
+        .map(|executor| {
+            let opts = ExecOptions {
+                executor,
+                threads: Some(4),
+                ..ExecOptions::default()
+            };
+            cfg.run_opts(&spec(), Some(&region), &lp, &opts).unwrap()
+        })
+        .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.qoi, runs[0].qoi);
+            assert_eq!(r.kernel_seconds.to_bits(), runs[0].kernel_seconds.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Microbenchmarks of the slice-wise kernel walk itself — one `walk_block`
+//! workload per technique policy (accurate, perforation, TAF, serialized
+//! TAF, iACT), driven through the public `approx_parallel_for_opts` entry
+//! so dispatch + walk + accounting are all on the measured path. These
+//! guard the hot loop the sweep throughput depends on; `cargo bench
+//! --no-run` in CI keeps them compiling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
+use hpac_core::params::PerfoKind;
+use hpac_core::region::ApproxRegion;
+use std::hint::black_box;
+
+const N_ITEMS: usize = 1 << 14;
+const BLOCK_SIZE: u32 = 256;
+
+/// A small plateau-structured body: cheap enough that walk overhead (slice
+/// assembly, voting, cost charging) dominates, redundant enough that the
+/// memoization techniques actually take their approximate paths.
+struct WalkBody {
+    input: Vec<f64>,
+    output: Vec<f64>,
+}
+
+impl WalkBody {
+    fn new() -> Self {
+        let input: Vec<f64> = (0..N_ITEMS)
+            .map(|i| ((i >> 6) as f64) + 0.25 * ((i % 3) as f64))
+            .collect();
+        WalkBody {
+            input,
+            output: vec![0.0; N_ITEMS],
+        }
+    }
+}
+
+impl RegionBody for WalkBody {
+    fn in_dim(&self) -> usize {
+        1
+    }
+
+    fn out_dim(&self) -> usize {
+        1
+    }
+
+    fn inputs(&self, i: usize, buf: &mut [f64]) {
+        buf[0] = self.input[i];
+    }
+
+    fn compute(&self, i: usize, out: &mut [f64]) {
+        let x = self.input[i];
+        out[0] = (x + 1.0).sqrt() + (x + 2.0).ln();
+    }
+
+    fn store(&mut self, i: usize, out: &[f64]) {
+        self.output[i] = out[0];
+    }
+
+    fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new()
+            .flops(20.0)
+            .sfu(2.0)
+            .global_read(lanes, 8, AccessPattern::Coalesced)
+            .global_write(lanes, 8, AccessPattern::Coalesced)
+    }
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let launch = LaunchConfig::one_item_per_thread(N_ITEMS, BLOCK_SIZE);
+    let opts = ExecOptions::default();
+    let serialized = ExecOptions {
+        serialized_taf: true,
+        ..ExecOptions::default()
+    };
+
+    let cases: [(&str, Option<ApproxRegion>, &ExecOptions); 5] = [
+        ("accurate", None, &opts),
+        (
+            "perfo_large8",
+            Some(ApproxRegion::perfo(PerfoKind::Large { m: 8 })),
+            &opts,
+        ),
+        ("taf", Some(ApproxRegion::memo_out(2, 64, 0.5)), &opts),
+        (
+            "taf_serialized",
+            Some(ApproxRegion::memo_out(2, 64, 0.5)),
+            &serialized,
+        ),
+        (
+            "iact",
+            Some(ApproxRegion::memo_in(4, 0.5).tables_per_warp(16)),
+            &opts,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("walk_block");
+    group.sample_size(20);
+    for (name, region, o) in &cases {
+        group.bench_function(name, |b| {
+            let mut body = WalkBody::new();
+            b.iter(|| {
+                black_box(
+                    approx_parallel_for_opts(&spec, &launch, region.as_ref(), &mut body, o)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk);
+criterion_main!(benches);

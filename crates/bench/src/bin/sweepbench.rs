@@ -16,7 +16,9 @@
 //! parallel executor actually resolved (not just the host core count).
 //!
 //! Flags: `--full` uses the paper's complete Table 2 grids;
-//! `HPAC_THREADS=<n>` sets the engine width (`0` = all cores).
+//! `--app <name>` restricts the run to applications whose name contains
+//! `<name>` (case-insensitive); `HPAC_THREADS=<n>` sets the engine width
+//! (`0` = all cores).
 
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::Benchmark;
@@ -84,6 +86,41 @@ impl AppTiming {
     fn speedup(&self) -> f64 {
         self.seq_seconds / self.par_seconds
     }
+
+    /// Sweep throughput under the parallel executor — the headline number
+    /// for "how fast can we walk the design space on this host".
+    fn configs_per_second(&self) -> f64 {
+        self.rows as f64 / self.par_seconds
+    }
+}
+
+/// `--app <name>` filter: case-insensitive substring match on the
+/// benchmark name, or `None` to run the whole suite.
+fn app_filter_from_args() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--app" {
+            let name = args.next().unwrap_or_else(|| {
+                eprintln!("--app requires a benchmark name");
+                std::process::exit(2);
+            });
+            return Some(name.to_lowercase());
+        }
+    }
+    None
+}
+
+/// Short commit hash of the tree being benchmarked, so BENCH_sweep.json
+/// numbers stay attributable. "unknown" outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Median of the timed repetitions (REPS is small; sort is fine).
@@ -117,6 +154,8 @@ fn bench_executor(
 
 fn main() {
     let scale = hpac_bench::scale_from_args();
+    let filter = app_filter_from_args();
+    let commit = git_commit();
     let spec = DeviceSpec::v100();
     let host_cores = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -137,15 +176,32 @@ fn main() {
 
     println!(
         "sweepbench: serial config sweeps, {host_cores}-core host, \
-         engine width {workers}, scale {scale:?}, median of {REPS} reps"
+         engine width {workers}, scale {scale:?}, median of {REPS} reps, \
+         commit {commit}"
     );
     println!(
-        "{:<18} {:>8} {:>12} {:>12} {:>9}",
-        "benchmark", "configs", "seq [s]", "par [s]", "speedup"
+        "{:<18} {:>8} {:>12} {:>12} {:>9} {:>10}",
+        "benchmark", "configs", "seq [s]", "par [s]", "speedup", "cfg/s"
     );
 
+    let apps: Vec<Box<dyn Benchmark>> = suite()
+        .into_iter()
+        .filter(|b| match &filter {
+            Some(f) => b.name().to_lowercase().contains(f),
+            None => true,
+        })
+        .collect();
+    if apps.is_empty() {
+        eprintln!(
+            "--app {:?} matches no benchmark; suite: {:?}",
+            filter.as_deref().unwrap_or(""),
+            suite().iter().map(|b| b.name()).collect::<Vec<_>>()
+        );
+        std::process::exit(2);
+    }
+
     let mut timings: Vec<AppTiming> = Vec::new();
-    for bench in suite() {
+    for bench in apps {
         let (seq_seconds, seq) = bench_executor(bench.as_ref(), &spec, scale, &seq_opts);
         let (par_seconds, par) = bench_executor(bench.as_ref(), &spec, scale, &par_opts);
 
@@ -169,12 +225,13 @@ fn main() {
             par_seconds,
         };
         println!(
-            "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x",
+            "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x {:>10.1}",
             t.name,
             t.rows,
             t.seq_seconds,
             t.par_seconds,
-            t.speedup()
+            t.speedup(),
+            t.configs_per_second()
         );
         timings.push(t);
     }
@@ -196,6 +253,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"commit\": \"{commit}\",");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"workers_effective\": {workers},");
     let _ = writeln!(json, "  \"reps\": {REPS},");
@@ -207,12 +265,14 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"benchmark\": \"{}\", \"configs\": {}, \"sequential_seconds\": {:.6}, \
-             \"parallel_seconds\": {:.6}, \"speedup\": {:.4}}}{}",
+             \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \
+             \"configs_per_second\": {:.4}}}{}",
             t.name,
             t.rows,
             t.seq_seconds,
             t.par_seconds,
             t.speedup(),
+            t.configs_per_second(),
             comma
         );
     }
@@ -221,6 +281,12 @@ fn main() {
     let _ = writeln!(json, "  \"total_parallel_seconds\": {total_par:.6},");
     let _ = writeln!(json, "  \"speedup\": {overall:.4}");
     let _ = writeln!(json, "}}");
-    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
-    println!("wrote BENCH_sweep.json");
+    if filter.is_some() {
+        // A filtered run is a spot measurement; don't clobber the
+        // full-suite record.
+        println!("--app filter active: not overwriting BENCH_sweep.json");
+    } else {
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        println!("wrote BENCH_sweep.json");
+    }
 }

@@ -9,11 +9,17 @@
 //! blocks run on the persistent [`engine`](crate::exec::engine) worker pool
 //! with buffered stores and fold back in block order, bit-identical to the
 //! sequential reference.
+//!
+//! The per-step path costs are fixed for the whole launch (they depend only
+//! on body, device, and technique parameters), so they are precomposed once
+//! into cycle sums ([`TaskCosts`]) and replayed per warp, and the per-block
+//! scratch (output/query vectors, store buffer, accumulator) is hoisted
+//! into reusable per-task state.
 
 use crate::exec::body::BlockTaskBody;
 use crate::exec::charge::StoreBuffer;
 use crate::exec::engine::engine;
-use crate::exec::walk::chunk_ranges;
+use crate::exec::walk::{chunk_ranges, AUTO_FANOUT_MIN_WARP_STEPS};
 use crate::exec::{ExecOptions, Executor};
 use crate::hierarchy::{self, HierarchyLevel};
 use crate::iact::IactPool;
@@ -23,7 +29,8 @@ use crate::region::{ApproxRegion, RegionError, Technique};
 use crate::shared_state;
 use crate::taf::TafPool;
 use gpu_sim::{
-    BlockAccumulator, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig, Schedule,
+    BlockAccumulator, CostProfile, DeviceSpec, KernelExec, KernelRecord, LaunchConfig,
+    PrecomposedCost, Schedule,
 };
 
 /// Launch a block-cooperative kernel over `n_tasks` tasks with block-level
@@ -114,41 +121,66 @@ pub fn approx_block_tasks_opts(
         out_dim,
         technique,
     };
+    let costs = walk.precompose_costs(body);
 
     let width = engine().width_for(opts);
-    let parallel = matches!(opts.executor, Executor::ParallelBlocks)
-        && width > 1
-        && n_blocks > 1
-        && !engine().is_nested();
+    let wants_fan_out = match opts.executor {
+        Executor::Sequential => false,
+        Executor::ParallelBlocks => true,
+        Executor::Auto => {
+            n_blocks as usize * walk.warps as usize * walk.steps >= AUTO_FANOUT_MIN_WARP_STEPS
+        }
+    };
+    let parallel = wants_fan_out && width > 1 && n_blocks > 1 && !engine().is_nested();
 
     if parallel {
         let shared_body: &dyn BlockTaskBody = body;
         let ranges = chunk_ranges(n_blocks, width);
-        let per_chunk: Vec<Vec<(BlockAccumulator, StoreBuffer)>> =
-            engine().run(ranges.len(), ranges.len(), |k| {
+        let per_chunk: Vec<(Vec<BlockAccumulator>, StoreBuffer)> =
+            engine().run(ranges.len(), width, |k| {
                 let (lo, hi) = ranges[k];
-                (lo..hi)
+                let mut scratch = TaskScratch::new(&walk);
+                let mut buffer = StoreBuffer::new(walk.out_dim);
+                let accs = (lo..hi)
                     .map(|b| {
-                        let mut buffer = StoreBuffer::new(walk.out_dim);
-                        let acc =
-                            walk.run_block(shared_body, b, &mut |task, out| buffer.push(task, out));
-                        (acc, buffer)
+                        let mut acc = BlockAccumulator::new(walk.warps as usize, walk.spec.costs);
+                        walk.run_block(
+                            shared_body,
+                            b,
+                            &costs,
+                            &mut scratch,
+                            &mut acc,
+                            &mut |task, out| buffer.push(task, out),
+                        );
+                        acc
                     })
-                    .collect()
+                    .collect();
+                (accs, buffer)
             });
-        for (b, (acc, stores)) in per_chunk.into_iter().flatten().enumerate() {
-            exec.merge_block(b as u32, acc);
+        let mut b = 0u32;
+        for (accs, stores) in &per_chunk {
+            for acc in accs {
+                exec.merge_block(b, acc);
+                b += 1;
+            }
             stores.replay(|task, out| body.store(task, out));
         }
     } else {
         // Tasks are independent by the pattern's contract (one block, one
         // work item), so the reference executor may buffer each block's
-        // stores and commit them as soon as the block finishes.
+        // stores and commit them as soon as the block finishes. One set of
+        // buffers serves every block.
+        let mut scratch = TaskScratch::new(&walk);
+        let mut buffer = StoreBuffer::new(walk.out_dim);
+        let mut acc = BlockAccumulator::new(walk.warps as usize, walk.spec.costs);
         for b in 0..n_blocks {
-            let mut buffer = StoreBuffer::new(walk.out_dim);
-            let acc = walk.run_block(body, b, &mut |task, out| buffer.push(task, out));
-            exec.merge_block(b, acc);
+            walk.run_block(body, b, &costs, &mut scratch, &mut acc, &mut |task, out| {
+                buffer.push(task, out)
+            });
+            exec.merge_block(b, &acc);
+            acc.reset();
             buffer.replay(|task, out| body.store(task, out));
+            buffer.clear();
         }
     }
     Ok(exec.finish())
@@ -180,6 +212,30 @@ enum Path {
     Skip,
 }
 
+/// The three per-step path costs, fixed for the whole launch and resolved
+/// against the device once. Every step charges one of these to each warp.
+struct TaskCosts {
+    skip: PrecomposedCost,
+    approx: PrecomposedCost,
+    accurate: PrecomposedCost,
+}
+
+/// Reusable per-block scratch: the AC state is fresh per block, the vectors
+/// keep their allocations.
+struct TaskScratch {
+    out: Vec<f64>,
+    query: Vec<f64>,
+}
+
+impl TaskScratch {
+    fn new(walk: &TaskWalk) -> Self {
+        TaskScratch {
+            out: vec![0.0; walk.out_dim],
+            query: vec![0.0; walk.in_dim],
+        }
+    }
+}
+
 impl TaskWalk {
     fn block_state(&self) -> TaskState {
         match self.technique {
@@ -192,24 +248,46 @@ impl TaskWalk {
         }
     }
 
-    /// Walk block `b` over its grid-stride tasks, emitting stores through
-    /// `store` and returning the block's accounting.
-    fn run_block(
-        &self,
-        body: &dyn BlockTaskBody,
-        b: u32,
-        store: &mut dyn FnMut(usize, &[f64]),
-    ) -> BlockAccumulator {
-        let mut acc = BlockAccumulator::new(self.warps as usize, self.spec.costs);
-        let mut state = self.block_state();
-        let mut out = vec![0.0; self.out_dim];
-        let mut query = vec![0.0; self.in_dim];
-
+    /// Assemble and device-resolve the three path costs. Cost methods are
+    /// pure in (body, device, technique params), so a prototype AC state
+    /// stands in for every block's.
+    fn precompose_costs(&self, body: &dyn BlockTaskBody) -> TaskCosts {
         let decision_overhead = if self.technique.is_some() {
             hierarchy::decision_cost(HierarchyLevel::Block)
         } else {
             CostProfile::new()
         };
+        let approx = decision_overhead
+            .add(&body.input_cost(&self.spec))
+            .add(&body.store_cost(&self.spec));
+        let mut accurate = decision_overhead.add(&body.task_cost_per_warp(&self.spec));
+        if let TaskState::Iact(pool) = self.block_state() {
+            accurate = accurate
+                .add(&pool.search_cost())
+                .add(&pool.write_phase_cost(1));
+        }
+        let p = &self.spec.costs;
+        TaskCosts {
+            skip: CostProfile::new().flops(1.0).precompose(p),
+            approx: approx.precompose(p),
+            accurate: accurate.precompose(p),
+        }
+    }
+
+    /// Walk block `b` over its grid-stride tasks, emitting stores through
+    /// `store` and charging into `acc` (provided empty, reusable via
+    /// [`BlockAccumulator::reset`]).
+    fn run_block(
+        &self,
+        body: &dyn BlockTaskBody,
+        b: u32,
+        costs: &TaskCosts,
+        scratch: &mut TaskScratch,
+        acc: &mut BlockAccumulator,
+        store: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        let mut state = self.block_state();
+        let (out, query) = (&mut scratch.out, &mut scratch.query);
 
         for s in 0..self.steps {
             let task = b as usize + s * self.n_blocks as usize;
@@ -235,8 +313,8 @@ impl TaskWalk {
                     }
                 }
                 TaskState::Iact(pool) => {
-                    body.inputs(task, &mut query);
-                    let probe = pool.probe(0, &query);
+                    body.inputs(task, query);
+                    let probe = pool.probe(0, query);
                     if probe.hit(pool.params().threshold) {
                         (Path::Approx, probe.slot)
                     } else {
@@ -248,7 +326,7 @@ impl TaskWalk {
             match path {
                 Path::Skip => {
                     for w in 0..self.warps {
-                        acc.charge(w, &CostProfile::new().flops(1.0));
+                        acc.charge_precomposed(w, &costs.skip);
                     }
                     acc.note_step(0, 0, 1, false);
                 }
@@ -265,37 +343,29 @@ impl TaskWalk {
                         }
                         _ => unreachable!("only memoizing techniques approximate"),
                     }
-                    store(task, &out);
-                    let c = decision_overhead
-                        .add(&body.input_cost(&self.spec))
-                        .add(&body.store_cost(&self.spec));
+                    store(task, out);
                     for w in 0..self.warps {
-                        acc.charge(w, &c);
+                        acc.charge_precomposed(w, &costs.approx);
                     }
                     acc.note_step(0, 1, 0, false);
                 }
                 Path::Accurate => {
-                    body.compute(task, &mut out);
-                    store(task, &out);
+                    body.compute(task, out);
+                    store(task, out);
                     match &mut state {
-                        TaskState::Taf(pool) => pool.observe(0, &out),
+                        TaskState::Taf(pool) => pool.observe(0, out),
                         TaskState::Iact(pool) => {
-                            body.inputs(task, &mut query);
-                            pool.insert(0, &query, &out);
+                            body.inputs(task, query);
+                            pool.insert(0, query, out);
                         }
                         _ => {}
                     }
-                    let mut c = decision_overhead.add(&body.task_cost_per_warp(&self.spec));
-                    if let TaskState::Iact(pool) = &state {
-                        c = c.add(&pool.search_cost()).add(&pool.write_phase_cost(1));
-                    }
                     for w in 0..self.warps {
-                        acc.charge(w, &c);
+                        acc.charge_precomposed(w, &costs.accurate);
                     }
                     acc.note_step(1, 0, 0, false);
                 }
             }
         }
-        acc
     }
 }

@@ -73,18 +73,25 @@ impl BlockField {
         }
     }
 
+    #[inline]
     pub fn len(&self) -> usize {
         self.bits.len()
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.bits.is_empty()
     }
 
+    // get/set are the per-scalar hot path of every field-backed body;
+    // without the inline hint they stay opaque calls across the crate
+    // boundary and field reads dominate the kernel walk.
+    #[inline]
     pub fn get(&self, i: usize) -> f64 {
         f64::from_bits(self.bits[i].load(Ordering::Relaxed))
     }
 
+    #[inline]
     pub fn set(&self, i: usize, v: f64) {
         self.bits[i].store(v.to_bits(), Ordering::Relaxed);
     }
@@ -251,16 +258,16 @@ impl BodyAccess for InlineAccess<'_> {
 
 pub(crate) struct BufferedAccess<'a> {
     pub body: &'a dyn RegionBody,
-    pub buffer: StoreBuffer,
+    /// Borrowed so one executor task can append several blocks' stores into
+    /// a single buffer (replayed in block order after the join) instead of
+    /// allocating a buffer per block.
+    pub buffer: &'a mut StoreBuffer,
 }
 
 impl<'a> BufferedAccess<'a> {
-    pub fn new(body: &'a dyn RegionBody) -> Self {
-        let out_dim = body.out_dim();
-        BufferedAccess {
-            body,
-            buffer: StoreBuffer::new(out_dim),
-        }
+    pub fn new(body: &'a dyn RegionBody, buffer: &'a mut StoreBuffer) -> Self {
+        debug_assert_eq!(buffer.out_dim(), body.out_dim());
+        BufferedAccess { body, buffer }
     }
 }
 

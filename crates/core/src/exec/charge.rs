@@ -2,42 +2,61 @@
 //!
 //! Two concerns live here, shared by every technique policy:
 //!
-//! * **Cost commitment** — [`MixedStep`] assembles the cost of a warp step
-//!   whose lanes split between the accurate and approximate paths (the
-//!   divergence-serialization charge of the GPU model) and commits it,
-//!   together with the step statistics, to the block's
-//!   [`BlockAccumulator`].
-//! * **Output accounting** — [`StoreBuffer`] records one block's `store`
+//! * **Cost memoization** — [`MixMemo`] caches the fully composed,
+//!   device-resolved cost of a warp step per lane mix `(n_acc, n_apx)`.
+//!   Policies assemble a mix's [`CostProfile`] at most once per executor
+//!   task and replay the precomposed cycle sums on every later step with
+//!   the same mix, which removes the profile summing and cycle dot products
+//!   from the hot path without changing a single charged bit.
+//! * **Output accounting** — [`StoreBuffer`] records buffered `store`
 //!   calls when the parallel executor cannot commit them inline, preserving
 //!   the exact call order of the sequential walk for later replay.
 
-use gpu_sim::{BlockAccumulator, CostProfile};
+use gpu_sim::{CostParams, CostProfile, PrecomposedCost};
 
-/// Cost of one warp step with a mix of accurate and approximate lanes.
+/// Memo of composed warp-step costs, keyed by the lane mix
+/// `(n_acc, n_apx)` of the step (both in `0..=warp_size`).
 ///
-/// `base` is always charged (activation, decisions, table searches);
-/// `accurate` is added when at least one lane ran the accurate path, and
-/// `approx` when at least one lane took the approximate path — a warp that
-/// serializes both paths pays both, which is exactly the divergence penalty
-/// hierarchy-level decisions exist to avoid.
-pub(crate) struct MixedStep {
-    pub base: CostProfile,
-    pub accurate: CostProfile,
-    pub approx: CostProfile,
+/// Sound exactly when the policy's assembled profile is a pure function of
+/// the mix — which holds for every slice policy: activation, decision,
+/// search, and body costs depend only on fixed launch/body/params state and
+/// on the lane counts in the key. (The serialized-TAF ablation accumulates
+/// per-lane in decision order and therefore bypasses the memo.) The cached
+/// value is [`PrecomposedCost`], so replaying a hit is two f64 adds per
+/// accumulator field instead of a profile sum plus two dot products; the
+/// adds are bit-identical to recomputing because `issue_cycles` /
+/// `latency_cycles` are deterministic in (profile, params).
+pub(crate) struct MixMemo {
+    side: usize,
+    slots: Vec<Option<PrecomposedCost>>,
+    params: CostParams,
 }
 
-impl MixedStep {
-    /// Charge the assembled cost to `warp` and record the step outcome.
-    pub fn commit(self, acc: &mut BlockAccumulator, warp: u32, n_acc: u32, n_apx: u32) {
-        let mut cost = self.base;
-        if n_acc > 0 {
-            cost = cost.add(&self.accurate);
+impl MixMemo {
+    pub fn new(warp_size: u32, params: CostParams) -> Self {
+        let side = warp_size as usize + 1;
+        MixMemo {
+            side,
+            slots: vec![None; side * side],
+            params,
         }
-        if n_apx > 0 {
-            cost = cost.add(&self.approx);
+    }
+
+    /// The precomposed cost for mix `(n_acc, n_apx)`, building (and
+    /// caching) it from `assemble` on first sight of the mix.
+    pub fn get_or(
+        &mut self,
+        n_acc: u32,
+        n_apx: u32,
+        assemble: impl FnOnce() -> CostProfile,
+    ) -> PrecomposedCost {
+        let i = n_acc as usize * self.side + n_apx as usize;
+        if let Some(c) = self.slots[i] {
+            return c;
         }
-        acc.charge(warp, &cost);
-        acc.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
+        let c = assemble().precompose(&self.params);
+        self.slots[i] = Some(c);
+        c
     }
 }
 
@@ -64,6 +83,16 @@ impl StoreBuffer {
         debug_assert_eq!(out.len(), self.out_dim);
         self.items.push(item);
         self.data.extend_from_slice(out);
+    }
+
+    pub(crate) fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Drop the recorded stores, keeping the backing capacity for reuse.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.data.clear();
     }
 
     pub fn len(&self) -> usize {
@@ -99,23 +128,24 @@ mod tests {
     }
 
     #[test]
-    fn mixed_step_charges_only_taken_paths() {
+    fn mix_memo_builds_once_and_matches_direct_precompose() {
         let spec = DeviceSpec::v100();
-        let step = || MixedStep {
-            base: CostProfile::new().flops(1.0),
-            accurate: CostProfile::new().flops(10.0),
-            approx: CostProfile::new().flops(100.0),
-        };
-
-        let mut only_acc = BlockAccumulator::new(1, spec.costs);
-        step().commit(&mut only_acc, 0, 2, 0);
-        let mut both = BlockAccumulator::new(1, spec.costs);
-        step().commit(&mut both, 0, 2, 2);
-
-        assert!(both.stats().total_issue_cycles > only_acc.stats().total_issue_cycles);
-        assert_eq!(only_acc.stats().divergent_steps, 0);
-        assert_eq!(both.stats().divergent_steps, 1);
-        assert_eq!(both.stats().accurate_lanes, 2);
-        assert_eq!(both.stats().approx_lanes, 2);
+        let mut memo = MixMemo::new(spec.warp_size, spec.costs);
+        let profile = CostProfile::new().flops(7.0).barriers(1.0);
+        let mut builds = 0;
+        let a = memo.get_or(3, 1, || {
+            builds += 1;
+            profile
+        });
+        let b = memo.get_or(3, 1, || {
+            builds += 1;
+            profile
+        });
+        assert_eq!(builds, 1, "second lookup must hit the cache");
+        assert_eq!(a, b);
+        assert_eq!(a, profile.precompose(&spec.costs));
+        // A different mix is a different slot.
+        let c = memo.get_or(1, 3, || CostProfile::new().flops(1.0));
+        assert_ne!(a, c);
     }
 }

@@ -92,6 +92,73 @@ impl ExecEngine {
         }
     }
 
+    /// Run a sequence of dependent *phases* as one engine submission.
+    ///
+    /// Phase `p` consists of `sizes[p]` independent tasks; `f(p, j)` runs
+    /// task `j` of phase `p`. Tasks of phase `p` only start after every
+    /// task of every earlier phase has finished (a barrier), but the
+    /// submission as a whole claims from one task queue, so workers stay
+    /// warm across the barriers instead of being re-dispatched per phase —
+    /// the batching [`crate::exec::batch`] uses to submit LULESH's five
+    /// dependent kernels per timestep at once.
+    ///
+    /// Deadlock-free by construction: the pool claims tasks in flat index
+    /// order, so whichever thread holds the lowest unfinished index has all
+    /// earlier phases complete and can always run; everyone else waits on
+    /// the phase condvar. Results return per phase, in task order.
+    pub fn run_phases<R, F>(&self, sizes: &[usize], width: usize, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        use std::sync::{Condvar, Mutex};
+
+        let offsets: Vec<usize> = sizes
+            .iter()
+            .scan(0usize, |acc, &s| {
+                let off = *acc;
+                *acc += s;
+                Some(off)
+            })
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let progress = Mutex::new(vec![0usize; sizes.len()]);
+        let barrier = Condvar::new();
+
+        let mut flat = self
+            .run(total, width, |idx| {
+                let p = match offsets.binary_search(&idx) {
+                    // Equal offsets from empty phases: take the last, the
+                    // one whose tasks actually start at this offset.
+                    Ok(mut i) => {
+                        while i + 1 < offsets.len() && offsets[i + 1] == idx {
+                            i += 1;
+                        }
+                        i
+                    }
+                    Err(i) => i - 1,
+                };
+                if p > 0 {
+                    let mut done = progress.lock().unwrap();
+                    while !(0..p).all(|q| done[q] == sizes[q]) {
+                        done = barrier.wait(done).unwrap();
+                    }
+                }
+                let r = f(p, idx - offsets[p]);
+                {
+                    let mut done = progress.lock().unwrap();
+                    done[p] += 1;
+                }
+                barrier.notify_all();
+                r
+            })
+            .into_iter();
+        sizes
+            .iter()
+            .map(|&s| flat.by_ref().take(s).collect())
+            .collect()
+    }
+
     /// Workers spawned so far (grows lazily; never shrinks).
     pub fn spawned_workers(&self) -> usize {
         pool::global().spawned_workers()
@@ -190,6 +257,29 @@ mod tests {
         let out = engine().run(100, 4, |i| i * i);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn run_phases_barriers_between_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let finished = AtomicUsize::new(0);
+        let sizes = [3usize, 0, 5, 1];
+        let out = engine().run_phases(&sizes, 4, |p, j| {
+            let before: usize = sizes[..p].iter().sum();
+            assert!(
+                finished.load(Ordering::SeqCst) >= before,
+                "phase {p} task {j} started before earlier phases finished"
+            );
+            finished.fetch_add(1, Ordering::SeqCst);
+            (p, j)
+        });
+        assert_eq!(out.len(), sizes.len());
+        for (p, phase) in out.iter().enumerate() {
+            assert_eq!(phase.len(), sizes[p]);
+            for (j, v) in phase.iter().enumerate() {
+                assert_eq!(*v, (p, j));
+            }
         }
     }
 }

@@ -4,12 +4,15 @@
 //! Tables belong to warps (`tables_per_warp` per warp), and a block's warps
 //! are private to it, so each block gets a pool of
 //! `warps_per_block × tables_per_warp` tables and behaves exactly like the
-//! former launch-wide pool.
+//! former launch-wide pool. Per-lane probe scratch is sized for the whole
+//! block (`warps_per_block × warp_size`, indexed
+//! `slice.warp * warp_size + k`) so the block-level tally pass can cache
+//! every warp's probes at once and the step pass reuses them un-re-probed.
 
 use crate::exec::body::{BodyAccess, RegionBody};
-use crate::exec::charge::MixedStep;
+use crate::exec::charge::MixMemo;
 use crate::exec::policy::{TechniquePolicy, WarpCtx};
-use crate::exec::walk::{Geom, Lane};
+use crate::exec::walk::{Geom, WarpSlice};
 use crate::hierarchy::{self, HierarchyLevel, WarpDecision};
 use crate::iact::IactPool;
 use crate::params::IactParams;
@@ -24,8 +27,10 @@ pub(crate) struct IactPolicy {
 
 pub(crate) struct IactState {
     pool: IactPool,
-    // Per-lane scratch of the current warp, refreshed by `lane_vote` in the
-    // read phase and consumed by `warp_step`.
+    /// Lanes of scratch below (`warps_per_block × warp_size`).
+    warp_size: usize,
+    // Per-lane scratch, indexed `warp * warp_size + k`; refreshed by
+    // `vote_slice` in the read phase and consumed by `warp_step`.
     in_cache: Vec<f64>,
     out_cache: Vec<f64>,
     probe_slot: Vec<Option<usize>>,
@@ -35,10 +40,9 @@ pub(crate) struct IactState {
 }
 
 impl IactPolicy {
-    /// Table of `lane` within its warp's table group, relative to the
-    /// block's pool.
-    fn table(&self, warp_in_block: u32, lane: &Lane) -> usize {
-        (warp_in_block * self.tables_per_warp + lane.lane / self.lanes_per_table) as usize
+    /// Table of slice lane `k` of warp `warp`, relative to the block's pool.
+    fn table(&self, warp: u32, k: usize) -> usize {
+        (warp * self.tables_per_warp) as usize + k / self.lanes_per_table as usize
     }
 }
 
@@ -51,30 +55,47 @@ impl TechniquePolicy for IactPolicy {
 
     fn block_state(&self, geom: &Geom, _block: u32, body: &dyn RegionBody) -> IactState {
         let ws = geom.spec.warp_size as usize;
+        let lanes = geom.warps_per_block as usize * ws;
         let in_dim = body.in_dim();
         let out_dim = body.out_dim();
         let n_tables = geom.warps_per_block as usize * self.tables_per_warp as usize;
         IactState {
             pool: IactPool::new(n_tables, in_dim, out_dim, self.params),
-            in_cache: vec![0.0; ws * in_dim],
-            out_cache: vec![0.0; ws * out_dim],
-            probe_slot: vec![None; ws],
-            probe_dist: vec![f64::INFINITY; ws],
-            acc_mask: vec![false; ws],
+            warp_size: ws,
+            in_cache: vec![0.0; lanes * in_dim],
+            out_cache: vec![0.0; lanes * out_dim],
+            probe_slot: vec![None; lanes],
+            probe_dist: vec![f64::INFINITY; lanes],
+            acc_mask: vec![false; lanes],
             out: vec![0.0; out_dim],
         }
     }
 
-    /// Read phase for one lane: gather the region inputs, probe the lane's
-    /// table, cache the probe, vote on the hit.
-    fn lane_vote(&self, st: &mut IactState, k: usize, l: &Lane, body: &dyn RegionBody) -> bool {
+    /// Read phase for the slice: gather each lane's region inputs, probe
+    /// its table, cache the probe, vote on the hit.
+    fn vote_slice(
+        &self,
+        st: &mut IactState,
+        slice: &WarpSlice,
+        votes: &mut [bool],
+        body: &dyn RegionBody,
+    ) {
         let in_dim = st.pool.in_dim();
-        let t = self.table(l.warp, l);
-        body.inputs(l.item, &mut st.in_cache[k * in_dim..(k + 1) * in_dim]);
-        let probe = st.pool.probe(t, &st.in_cache[k * in_dim..(k + 1) * in_dim]);
-        st.probe_slot[k] = probe.slot;
-        st.probe_dist[k] = probe.distance;
-        probe.hit(self.params.threshold)
+        let base = slice.warp as usize * st.warp_size;
+        for (k, v) in votes.iter_mut().enumerate() {
+            let kg = base + k;
+            let t = self.table(slice.warp, k);
+            body.inputs(
+                slice.item_base + k,
+                &mut st.in_cache[kg * in_dim..(kg + 1) * in_dim],
+            );
+            let probe = st
+                .pool
+                .probe(t, &st.in_cache[kg * in_dim..(kg + 1) * in_dim]);
+            st.probe_slot[kg] = probe.slot;
+            st.probe_dist[kg] = probe.distance;
+            *v = probe.hit(self.params.threshold);
+        }
     }
 
     fn warp_step<A: BodyAccess>(
@@ -82,33 +103,38 @@ impl TechniquePolicy for IactPolicy {
         st: &mut IactState,
         ctx: &WarpCtx<'_>,
         access: &mut A,
+        memo: &mut MixMemo,
         acc: &mut BlockAccumulator,
     ) {
         let in_dim = st.pool.in_dim();
         let out_dim = st.out.len();
+        let n = ctx.slice.n as usize;
+        let base = ctx.slice.warp as usize * st.warp_size;
 
         let mut n_acc = 0u32;
         let mut n_apx = 0u32;
-        for (k, l) in ctx.lanes.iter().enumerate() {
-            let t = self.table(ctx.warp, l);
+        for k in 0..n {
+            let kg = base + k;
+            let item = ctx.slice.item_base + k;
+            let t = self.table(ctx.slice.warp, k);
             let approx = match ctx.decision {
                 WarpDecision::PerLane => ctx.votes[k],
                 // A forced lane returns its *nearest* entry even beyond the
                 // threshold; with an empty table it must execute accurately.
-                WarpDecision::GroupApprox => st.probe_slot[k].is_some(),
+                WarpDecision::GroupApprox => st.probe_slot[kg].is_some(),
                 WarpDecision::GroupAccurate => false,
             };
-            st.acc_mask[k] = !approx;
+            st.acc_mask[kg] = !approx;
             if approx {
-                let slot = st.probe_slot[k].expect("approx lane must have an entry");
+                let slot = st.probe_slot[kg].expect("approx lane must have an entry");
                 st.out.copy_from_slice(st.pool.output(t, slot));
                 st.pool.touch(t, slot);
-                access.store(l.item, &st.out);
+                access.store(item, &st.out);
                 n_apx += 1;
             } else {
-                access.compute(l.item, &mut st.out);
-                st.out_cache[k * out_dim..(k + 1) * out_dim].copy_from_slice(&st.out);
-                access.store(l.item, &st.out);
+                access.compute(item, &mut st.out);
+                st.out_cache[kg * out_dim..(kg + 1) * out_dim].copy_from_slice(&st.out);
+                access.store(item, &st.out);
                 n_acc += 1;
             }
         }
@@ -117,42 +143,50 @@ impl TechniquePolicy for IactPolicy {
         // inputs were farthest from any cached entry (most novel).
         if n_acc > 0 {
             for table_off in 0..self.tables_per_warp {
-                let t = (ctx.warp * self.tables_per_warp + table_off) as usize;
+                let t = (ctx.slice.warp * self.tables_per_warp + table_off) as usize;
                 let mut writer: Option<usize> = None;
                 let mut best = f64::NEG_INFINITY;
-                for (k, l) in ctx.lanes.iter().enumerate() {
-                    if !st.acc_mask[k] || (l.lane / self.lanes_per_table) != table_off {
+                for k in 0..n {
+                    let kg = base + k;
+                    if !st.acc_mask[kg] || (k as u32 / self.lanes_per_table) != table_off {
                         continue;
                     }
-                    let d = st.probe_dist[k];
+                    let d = st.probe_dist[kg];
                     if d > best {
                         best = d;
-                        writer = Some(k);
+                        writer = Some(kg);
                     }
                 }
-                if let Some(k) = writer {
+                if let Some(kg) = writer {
                     st.pool.insert(
                         t,
-                        &st.in_cache[k * in_dim..(k + 1) * in_dim],
-                        &st.out_cache[k * out_dim..(k + 1) * out_dim],
+                        &st.in_cache[kg * in_dim..(kg + 1) * in_dim],
+                        &st.out_cache[kg * out_dim..(kg + 1) * out_dim],
                     );
                 }
             }
         }
 
-        let body = access.body();
-        MixedStep {
-            base: hierarchy::decision_cost(self.level)
-                .add(&body.input_cost(ctx.lanes.len() as u32, ctx.spec))
-                .add(&st.pool.search_cost()),
-            accurate: body
-                .accurate_cost(n_acc.max(1), ctx.spec)
-                .add(&st.pool.write_phase_cost(self.lanes_per_table)),
-            approx: st
-                .pool
-                .hit_cost()
-                .add(&body.store_cost(n_apx.max(1), ctx.spec)),
-        }
-        .commit(acc, ctx.warp, n_acc, n_apx);
+        // The slice is fully partitioned (n = n_acc + n_apx), so the mix
+        // key also determines the input-gather width below.
+        let cost = memo.get_or(n_acc, n_apx, || {
+            let body = access.body();
+            let mut cost = hierarchy::decision_cost(self.level)
+                .add(&body.input_cost(n as u32, ctx.spec))
+                .add(&st.pool.search_cost());
+            if n_acc > 0 {
+                cost = cost.add(
+                    &body
+                        .accurate_cost(n_acc, ctx.spec)
+                        .add(&st.pool.write_phase_cost(self.lanes_per_table)),
+                );
+            }
+            if n_apx > 0 {
+                cost = cost.add(&st.pool.hit_cost().add(&body.store_cost(n_apx, ctx.spec)));
+            }
+            cost
+        });
+        acc.charge_precomposed(ctx.slice.warp, &cost);
+        acc.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
     }
 }

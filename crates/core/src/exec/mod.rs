@@ -5,11 +5,15 @@
 //!
 //! 1. **Dispatch** (this module) — validate the region against the body,
 //!    size the shared-memory AC state, and select the
-//!    [`TechniquePolicy`](policy) for the region's technique.
+//!    [`TechniquePolicy`](policy) for the region's technique. [`resolve`]
+//!    is the shared front half, used both by [`approx_parallel_for_opts`]
+//!    and by the phased [`batch`] API.
 //! 2. **Walk** ([`walk`]) — the single grid walker iterates block →
-//!    grid-stride step → warp → lane, resolves hierarchy-level votes, and
-//!    calls the policy's hooks; [`taf`], [`iact`], and [`perfo`] each
-//!    implement the policy trait in ~150 lines of pure decision logic.
+//!    grid-stride step → warp, evaluates each warp step as one lane
+//!    *slice*, resolves hierarchy-level votes, and calls the policy's
+//!    hooks; [`taf`], [`iact`], and [`perfo`] each implement the policy
+//!    trait in ~150 lines of pure decision logic. The retired per-lane
+//!    walk survives as the bit-equivalence oracle in [`reference`].
 //! 3. **Accounting** ([`charge`], plus `gpu_sim::BlockAccumulator`) —
 //!    every block accumulates costs, statistics, and stores privately, and
 //!    the results fold back in block order, which is what lets
@@ -23,6 +27,7 @@
 //! benchmarks like Binomial Options where one block computes one work item
 //! and decisions are block-scoped.
 
+pub mod batch;
 mod block_tasks;
 pub mod body;
 pub mod charge;
@@ -30,6 +35,8 @@ pub mod engine;
 mod iact;
 mod perfo;
 mod policy;
+#[cfg(test)]
+mod reference;
 mod taf;
 mod walk;
 
@@ -54,6 +61,11 @@ pub enum Executor {
     /// its stores and accounting privately and the results fold back in
     /// block order, bit-identical to [`Executor::Sequential`].
     ParallelBlocks,
+    /// Fan out like [`Executor::ParallelBlocks`], but only when the
+    /// launch's modeled work (blocks × warps × steps) is large enough to
+    /// amortize the handoff to the worker pool; tiny launches run inline
+    /// on the calling thread. Results are bit-identical either way.
+    Auto,
 }
 
 impl Executor {
@@ -109,28 +121,73 @@ impl ExecOptions {
     }
 }
 
-/// Launch an approximated grid-stride parallel-for.
-///
-/// `region = None` runs the accurate baseline with identical bookkeeping.
-pub fn approx_parallel_for(
-    spec: &DeviceSpec,
-    launch: &LaunchConfig,
-    region: Option<&ApproxRegion>,
-    body: &mut dyn RegionBody,
-) -> Result<KernelRecord, RegionError> {
-    approx_parallel_for_opts(spec, launch, region, body, &ExecOptions::default())
+/// A region's technique policy, resolved to a concrete implementation.
+/// This is the closed set [`resolve`] dispatches into; the walker is
+/// monomorphized per variant at the call sites.
+pub(crate) enum ResolvedPolicy {
+    Accurate(policy::AccuratePolicy),
+    Perfo(perfo::PerfoPolicy),
+    Taf(taf::TafPolicy),
+    SerializedTaf(taf::SerializedTafPolicy),
+    Iact(iact::IactPolicy),
 }
 
-/// [`approx_parallel_for`] with explicit execution options.
-pub fn approx_parallel_for_opts(
+/// The dispatch stage's output: everything [`walk::execute`] needs beyond
+/// the body itself.
+pub(crate) struct ResolvedKernel {
+    pub policy: ResolvedPolicy,
+    /// The effective launch (ini/fini perforation applied as bound changes).
+    pub launch: LaunchConfig,
+    /// Shared-memory AC state bytes per block.
+    pub shared: usize,
+    /// First iterated item (nonzero under ini-perforation).
+    pub item_lo: usize,
+}
+
+impl ResolvedKernel {
+    pub(crate) fn execute(
+        &self,
+        spec: &DeviceSpec,
+        body: &mut dyn RegionBody,
+        opts: &ExecOptions,
+    ) -> Result<KernelRecord, RegionError> {
+        match &self.policy {
+            ResolvedPolicy::Accurate(p) => {
+                walk::execute(spec, &self.launch, self.shared, p, body, opts, self.item_lo)
+            }
+            ResolvedPolicy::Perfo(p) => {
+                walk::execute(spec, &self.launch, self.shared, p, body, opts, self.item_lo)
+            }
+            ResolvedPolicy::Taf(p) => {
+                walk::execute(spec, &self.launch, self.shared, p, body, opts, self.item_lo)
+            }
+            ResolvedPolicy::SerializedTaf(p) => {
+                walk::execute(spec, &self.launch, self.shared, p, body, opts, self.item_lo)
+            }
+            ResolvedPolicy::Iact(p) => {
+                walk::execute(spec, &self.launch, self.shared, p, body, opts, self.item_lo)
+            }
+        }
+    }
+}
+
+/// The dispatch stage: validate the region against the body, size the
+/// shared AC state, apply perforation's loop-bound changes, and select the
+/// technique policy.
+pub(crate) fn resolve(
     spec: &DeviceSpec,
     launch: &LaunchConfig,
     region: Option<&ApproxRegion>,
-    body: &mut dyn RegionBody,
-    opts: &ExecOptions,
-) -> Result<KernelRecord, RegionError> {
+    body: &dyn RegionBody,
+    serialized_taf: bool,
+) -> Result<ResolvedKernel, RegionError> {
     let Some(region) = region else {
-        return walk::execute(spec, launch, 0, &policy::AccuratePolicy, body, opts, 0);
+        return Ok(ResolvedKernel {
+            policy: ResolvedPolicy::Accurate(policy::AccuratePolicy),
+            launch: *launch,
+            shared: 0,
+            item_lo: 0,
+        });
     };
     region.validate()?;
     if body.out_dim() == 0 {
@@ -169,32 +226,67 @@ pub fn approx_parallel_for_opts(
                 n_blocks: launch.n_blocks,
                 schedule: Schedule::GridStride,
             };
-            let policy = perfo::PerfoPolicy { params };
-            walk::execute(spec, &eff, shared, &policy, body, opts, lo)
+            Ok(ResolvedKernel {
+                policy: ResolvedPolicy::Perfo(perfo::PerfoPolicy { params }),
+                launch: eff,
+                shared,
+                item_lo: lo,
+            })
         }
         Technique::Taf(params) => {
-            if opts.serialized_taf {
-                let policy = taf::SerializedTafPolicy { params };
-                walk::execute(spec, launch, shared, &policy, body, opts, 0)
+            let policy = if serialized_taf {
+                ResolvedPolicy::SerializedTaf(taf::SerializedTafPolicy { params })
             } else {
-                let policy = taf::TafPolicy {
+                ResolvedPolicy::Taf(taf::TafPolicy {
                     params,
                     level: region.level,
-                };
-                walk::execute(spec, launch, shared, &policy, body, opts, 0)
-            }
+                })
+            };
+            Ok(ResolvedKernel {
+                policy,
+                launch: *launch,
+                shared,
+                item_lo: 0,
+            })
         }
         Technique::Iact(params) => {
             let tables_per_warp = params
                 .effective_tables_per_warp(spec.warp_size)
                 .map_err(RegionError::Invalid)?;
-            let policy = iact::IactPolicy {
-                params,
-                level: region.level,
-                tables_per_warp,
-                lanes_per_table: spec.warp_size / tables_per_warp,
-            };
-            walk::execute(spec, launch, shared, &policy, body, opts, 0)
+            Ok(ResolvedKernel {
+                policy: ResolvedPolicy::Iact(iact::IactPolicy {
+                    params,
+                    level: region.level,
+                    tables_per_warp,
+                    lanes_per_table: spec.warp_size / tables_per_warp,
+                }),
+                launch: *launch,
+                shared,
+                item_lo: 0,
+            })
         }
     }
+}
+
+/// Launch an approximated grid-stride parallel-for.
+///
+/// `region = None` runs the accurate baseline with identical bookkeeping.
+pub fn approx_parallel_for(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn RegionBody,
+) -> Result<KernelRecord, RegionError> {
+    approx_parallel_for_opts(spec, launch, region, body, &ExecOptions::default())
+}
+
+/// [`approx_parallel_for`] with explicit execution options.
+pub fn approx_parallel_for_opts(
+    spec: &DeviceSpec,
+    launch: &LaunchConfig,
+    region: Option<&ApproxRegion>,
+    body: &mut dyn RegionBody,
+    opts: &ExecOptions,
+) -> Result<KernelRecord, RegionError> {
+    resolve(spec, launch, region, body, opts.serialized_taf)?.execute(spec, body, opts)
 }

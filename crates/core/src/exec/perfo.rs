@@ -3,8 +3,9 @@
 //! starts (see the dispatch in [`exec`](crate::exec)).
 
 use crate::exec::body::{BodyAccess, RegionBody};
+use crate::exec::charge::MixMemo;
 use crate::exec::policy::{TechniquePolicy, WarpCtx};
-use crate::exec::walk::{Geom, Lane};
+use crate::exec::walk::Geom;
 use crate::params::PerfoParams;
 use crate::perfo;
 use gpu_sim::{BlockAccumulator, CostProfile};
@@ -20,16 +21,14 @@ pub(crate) struct PerfoState {
 impl TechniquePolicy for PerfoPolicy {
     type State = PerfoState;
 
+    // Perforation is data-independent: there is no activation criterion to
+    // vote on (the region validates `level(thread)` only), so the default
+    // all-accurate `vote_slice` stands.
+
     fn block_state(&self, _geom: &Geom, _block: u32, body: &dyn RegionBody) -> PerfoState {
         PerfoState {
             out: vec![0.0; body.out_dim()],
         }
-    }
-
-    // Perforation is data-independent: there is no activation criterion to
-    // vote on (the region validates `level(thread)` only).
-    fn lane_vote(&self, _st: &mut PerfoState, _k: usize, _l: &Lane, _b: &dyn RegionBody) -> bool {
-        false
     }
 
     fn warp_step<A: BodyAccess>(
@@ -37,34 +36,44 @@ impl TechniquePolicy for PerfoPolicy {
         st: &mut PerfoState,
         ctx: &WarpCtx<'_>,
         access: &mut A,
+        memo: &mut MixMemo,
         acc: &mut BlockAccumulator,
     ) {
+        let ws = ctx.spec.warp_size as usize;
         let mut n_exec = 0u32;
         let mut n_skip = 0u32;
-        for l in ctx.lanes {
-            if perfo::should_skip(&self.params, l.item, l.item / ctx.spec.warp_size as usize) {
+        for k in 0..ctx.slice.n as usize {
+            let item = ctx.slice.item_base + k;
+            if perfo::should_skip(&self.params, item, item / ws) {
                 n_skip += 1;
             } else {
-                access.compute(l.item, &mut st.out);
-                access.store(l.item, &st.out);
+                access.compute(item, &mut st.out);
+                access.store(item, &st.out);
                 n_exec += 1;
             }
         }
-        // Encounter-counter bookkeeping.
-        let mut cost = CostProfile::new().flops(1.0);
-        if n_exec > 0 {
-            // Non-herded patterns leave the warp's memory span fragmented
-            // and the SIMD issue width unchanged, so the warp pays the cost
-            // of its full active width; herded skips are all-or-nothing so
-            // this is equivalent there.
-            let effective = if self.params.herded {
-                n_exec
-            } else {
-                ctx.lanes.len() as u32
-            };
-            cost = cost.add(&access.body().accurate_cost(effective, ctx.spec));
-        }
-        acc.charge(ctx.warp, &cost);
+        // Non-herded patterns leave the warp's memory span fragmented and
+        // the SIMD issue width unchanged, so the warp pays the cost of its
+        // full active width; herded skips are all-or-nothing so this is
+        // equivalent there. The memo key encodes exactly what the cost
+        // depends on: the effective width when anything executed
+        // (`(effective, 1)`, effective ≥ 1), or the bare encounter counter
+        // (`(0, 0)`) when the whole slice skipped.
+        let effective = if self.params.herded {
+            n_exec
+        } else {
+            ctx.slice.n
+        };
+        let cost = if n_exec > 0 {
+            memo.get_or(effective, 1, || {
+                CostProfile::new()
+                    .flops(1.0)
+                    .add(&access.body().accurate_cost(effective, ctx.spec))
+            })
+        } else {
+            memo.get_or(0, 0, || CostProfile::new().flops(1.0))
+        };
+        acc.charge_precomposed(ctx.slice.warp, &cost);
         acc.note_step(n_exec, 0, n_skip, n_exec > 0 && n_skip > 0);
     }
 }

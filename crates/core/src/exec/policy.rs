@@ -4,10 +4,14 @@
 //! A [`TechniquePolicy`] owns everything technique-specific — activation
 //! criteria, per-block approximation state, path execution, cost assembly —
 //! while the walker in [`walk`](crate::exec::walk) owns everything
-//! geometric. Adding a fourth technique to the runtime means implementing
-//! this trait (~150 lines of pure decision logic) and adding one dispatch
-//! arm in [`exec`](crate::exec); the grid walk, the hierarchy voting
-//! machinery, the executors, and the accounting are inherited unchanged.
+//! geometric. Policies operate *slice-wise*: the walker hands them one
+//! [`WarpSlice`] per warp step (lane `k` executes item `item_base + k` as
+//! thread `tid_base + k`) plus a vote segment to fill, instead of one
+//! virtual call per lane. Adding a fourth technique to the runtime means
+//! implementing this trait (~150 lines of pure decision logic) and adding
+//! one dispatch arm in [`exec`](crate::exec); the grid walk, the hierarchy
+//! voting machinery, the executors, and the accounting are inherited
+//! unchanged.
 //!
 //! Policies must be block-decomposable: `block_state` returns state private
 //! to one block (per-thread TAF machines, per-warp iACT tables, …), which
@@ -15,21 +19,20 @@
 //! without locks and still match the sequential walk bit for bit.
 
 use crate::exec::body::{BodyAccess, RegionBody};
-use crate::exec::walk::{Geom, Lane};
+use crate::exec::charge::MixMemo;
+use crate::exec::walk::{Geom, WarpSlice};
 use crate::hierarchy::{HierarchyLevel, WarpDecision};
 use gpu_sim::{BlockAccumulator, DeviceSpec};
 
-/// One warp step, as handed to a policy: position, active lanes, their
+/// One warp step, as handed to a policy: the slice of active lanes, their
 /// activation votes, and the resolved hierarchy decision. Policies never
 /// see the block index: all block-scoped state lives in their `State`,
 /// which is what keeps blocks decomposable.
 pub(crate) struct WarpCtx<'a> {
     pub spec: &'a DeviceSpec,
-    /// Warp index within the block.
-    pub warp: u32,
-    /// Active lanes of this step, in lane order.
-    pub lanes: &'a [Lane],
-    /// Activation votes of `lanes`, filled by `lane_vote` in the same order.
+    /// The active lanes of this step.
+    pub slice: WarpSlice,
+    /// Activation votes of lanes `0..slice.n`, filled by `vote_slice`.
     pub votes: &'a [bool],
     /// The resolved group decision for this step.
     pub decision: WarpDecision,
@@ -50,21 +53,32 @@ pub(crate) trait TechniquePolicy: Sync {
     /// Fresh state for `block`.
     fn block_state(&self, geom: &Geom, block: u32, body: &dyn RegionBody) -> Self::State;
 
-    /// Activation vote of lane `k` of the current warp. Called in lane
-    /// order immediately before [`TechniquePolicy::warp_step`] for the same
-    /// warp, so policies may cache per-lane scratch (e.g. iACT probes)
-    /// indexed by `k`.
-    fn lane_vote(&self, st: &mut Self::State, k: usize, lane: &Lane, body: &dyn RegionBody)
-        -> bool;
+    /// Fill the activation votes of the slice's lanes into
+    /// `votes[..slice.n]`. Called once per warp step, immediately before
+    /// [`TechniquePolicy::warp_step`] for the same slice (for block-level
+    /// regions: once per warp during the block-wide tally pass), so
+    /// policies may cache per-lane scratch (e.g. iACT probes) indexed by
+    /// `slice.warp * warp_size + k`. The default is the no-criterion vote
+    /// (all accurate).
+    fn vote_slice(
+        &self,
+        _st: &mut Self::State,
+        _slice: &WarpSlice,
+        votes: &mut [bool],
+        _body: &dyn RegionBody,
+    ) {
+        votes.fill(false);
+    }
 
     /// Execute one warp step: resolve each lane against `ctx.decision`,
     /// run the accurate or approximate path through `access`, and charge
-    /// the step's cost and statistics to `acc`.
+    /// the step's cost (composed through `memo`) and statistics to `acc`.
     fn warp_step<A: BodyAccess>(
         &self,
         st: &mut Self::State,
         ctx: &WarpCtx<'_>,
         access: &mut A,
+        memo: &mut MixMemo,
         acc: &mut BlockAccumulator,
     );
 }
@@ -86,31 +100,22 @@ impl TechniquePolicy for AccuratePolicy {
         }
     }
 
-    fn lane_vote(
-        &self,
-        _st: &mut AccurateState,
-        _k: usize,
-        _l: &Lane,
-        _b: &dyn RegionBody,
-    ) -> bool {
-        false
-    }
-
     fn warp_step<A: BodyAccess>(
         &self,
         st: &mut AccurateState,
         ctx: &WarpCtx<'_>,
         access: &mut A,
+        memo: &mut MixMemo,
         acc: &mut BlockAccumulator,
     ) {
-        for l in ctx.lanes {
-            access.compute(l.item, &mut st.out);
-            access.store(l.item, &st.out);
+        let n = ctx.slice.n;
+        for k in 0..n as usize {
+            let item = ctx.slice.item_base + k;
+            access.compute(item, &mut st.out);
+            access.store(item, &st.out);
         }
-        let cost = access
-            .body()
-            .accurate_cost(ctx.lanes.len() as u32, ctx.spec);
-        acc.charge(ctx.warp, &cost);
-        acc.note_step(ctx.lanes.len() as u32, 0, 0, false);
+        let cost = memo.get_or(n, 0, || access.body().accurate_cost(n, ctx.spec));
+        acc.charge_precomposed(ctx.slice.warp, &cost);
+        acc.note_step(n, 0, 0, false);
     }
 }

@@ -4,16 +4,18 @@
 //! Per-thread TAF state machines are indexed by thread id; a block's
 //! threads form a contiguous disjoint id range, so each block gets a
 //! private pool of `block_size` machines and decisions match the former
-//! launch-wide pool exactly.
+//! launch-wide pool exactly. A slice's machines are likewise consecutive
+//! (`tid_base - block_base + k`), so voting and stepping walk the pool
+//! linearly.
 
 use crate::exec::body::{BodyAccess, RegionBody};
-use crate::exec::charge::MixedStep;
+use crate::exec::charge::MixMemo;
 use crate::exec::policy::{TechniquePolicy, WarpCtx};
-use crate::exec::walk::{Geom, Lane};
+use crate::exec::walk::{Geom, WarpSlice};
 use crate::hierarchy::{self, HierarchyLevel, WarpDecision};
 use crate::params::TafParams;
 use crate::taf::TafPool;
-use gpu_sim::BlockAccumulator;
+use gpu_sim::{BlockAccumulator, CostProfile};
 
 pub(crate) struct TafPolicy {
     pub params: TafParams,
@@ -29,8 +31,9 @@ pub(crate) struct TafState {
 }
 
 impl TafState {
-    fn local(&self, lane: &Lane) -> usize {
-        lane.tid - self.block_base
+    /// Machine of the slice's lane 0; lane `k` is `local(slice) + k`.
+    fn local(&self, slice: &WarpSlice) -> usize {
+        slice.tid_base - self.block_base
     }
 }
 
@@ -50,8 +53,17 @@ impl TechniquePolicy for TafPolicy {
         }
     }
 
-    fn lane_vote(&self, st: &mut TafState, _k: usize, l: &Lane, _b: &dyn RegionBody) -> bool {
-        st.pool.wants_approx(st.local(l))
+    fn vote_slice(
+        &self,
+        st: &mut TafState,
+        slice: &WarpSlice,
+        votes: &mut [bool],
+        _body: &dyn RegionBody,
+    ) {
+        let base = st.local(slice);
+        for (k, v) in votes.iter_mut().enumerate() {
+            *v = st.pool.wants_approx(base + k);
+        }
     }
 
     fn warp_step<A: BodyAccess>(
@@ -59,12 +71,15 @@ impl TechniquePolicy for TafPolicy {
         st: &mut TafState,
         ctx: &WarpCtx<'_>,
         access: &mut A,
+        memo: &mut MixMemo,
         acc: &mut BlockAccumulator,
     ) {
+        let base = st.local(&ctx.slice);
         let mut n_acc = 0u32;
         let mut n_apx = 0u32;
-        for (k, l) in ctx.lanes.iter().enumerate() {
-            let s = st.local(l);
+        for k in 0..ctx.slice.n as usize {
+            let s = base + k;
+            let item = ctx.slice.item_base + k;
             let approx = match ctx.decision {
                 WarpDecision::PerLane => ctx.votes[k],
                 WarpDecision::GroupApprox => st.pool.can_approximate(s),
@@ -72,32 +87,41 @@ impl TechniquePolicy for TafPolicy {
             };
             if approx {
                 st.out.copy_from_slice(st.pool.last(s));
-                access.store(l.item, &st.out);
+                access.store(item, &st.out);
                 st.pool.note_approx(s);
                 n_apx += 1;
             } else {
-                access.compute(l.item, &mut st.out);
-                access.store(l.item, &st.out);
+                access.compute(item, &mut st.out);
+                access.store(item, &st.out);
                 st.pool.observe(s, &st.out);
                 n_acc += 1;
             }
         }
 
-        let body = access.body();
-        MixedStep {
-            base: st
+        let cost = memo.get_or(n_acc, n_apx, || {
+            let body = access.body();
+            let mut cost = st
                 .pool
                 .activation_cost()
-                .add(&hierarchy::decision_cost(self.level)),
-            accurate: body
-                .accurate_cost(n_acc.max(1), ctx.spec)
-                .add(&st.pool.observe_cost()),
-            approx: st
-                .pool
-                .predict_cost()
-                .add(&body.store_cost(n_apx.max(1), ctx.spec)),
-        }
-        .commit(acc, ctx.warp, n_acc, n_apx);
+                .add(&hierarchy::decision_cost(self.level));
+            if n_acc > 0 {
+                cost = cost.add(
+                    &body
+                        .accurate_cost(n_acc, ctx.spec)
+                        .add(&st.pool.observe_cost()),
+                );
+            }
+            if n_apx > 0 {
+                cost = cost.add(
+                    &st.pool
+                        .predict_cost()
+                        .add(&body.store_cost(n_apx, ctx.spec)),
+                );
+            }
+            cost
+        });
+        acc.charge_precomposed(ctx.slice.warp, &cost);
+        acc.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
     }
 }
 
@@ -114,29 +138,36 @@ pub(crate) struct SerializedTafState {
     /// within the block.
     pool: TafPool,
     out: Vec<f64>,
+    // The component profiles are fixed for the whole launch; caching them
+    // here keeps the per-lane serialized cost accumulation (whose f64
+    // addition order is semantically part of the ablation and cannot be
+    // memoized by mix) from re-assembling them every lane.
+    activation: CostProfile,
+    predict: CostProfile,
+    observe: CostProfile,
+    accurate_one: CostProfile,
+    store_one: CostProfile,
 }
 
 impl TechniquePolicy for SerializedTafPolicy {
     type State = SerializedTafState;
 
+    // The serialized ablation makes no group decisions (each warp's state
+    // machine is consulted lane by lane inside `warp_step`), so the default
+    // all-accurate `vote_slice` stands.
+
     fn block_state(&self, geom: &Geom, _block: u32, body: &dyn RegionBody) -> SerializedTafState {
         let out_dim = body.out_dim();
+        let pool = TafPool::new(geom.warps_per_block as usize, out_dim, self.params);
         SerializedTafState {
-            pool: TafPool::new(geom.warps_per_block as usize, out_dim, self.params),
+            activation: pool.activation_cost(),
+            predict: pool.predict_cost(),
+            observe: pool.observe_cost(),
+            accurate_one: body.accurate_cost(1, &geom.spec),
+            store_one: body.store_cost(1, &geom.spec),
+            pool,
             out: vec![0.0; out_dim],
         }
-    }
-
-    // The serialized ablation makes no group decisions: each warp's state
-    // machine is consulted lane by lane inside `warp_step`.
-    fn lane_vote(
-        &self,
-        _st: &mut SerializedTafState,
-        _k: usize,
-        _l: &Lane,
-        _b: &dyn RegionBody,
-    ) -> bool {
-        false
     }
 
     fn warp_step<A: BodyAccess>(
@@ -144,33 +175,31 @@ impl TechniquePolicy for SerializedTafPolicy {
         st: &mut SerializedTafState,
         ctx: &WarpCtx<'_>,
         access: &mut A,
+        _memo: &mut MixMemo,
         acc: &mut BlockAccumulator,
     ) {
-        let wid = ctx.warp as usize;
+        let wid = ctx.slice.warp as usize;
         let mut n_acc = 0u32;
         let mut n_apx = 0u32;
-        let mut cost = st.pool.activation_cost();
-        for l in ctx.lanes {
+        let mut cost = st.activation;
+        for k in 0..ctx.slice.n as usize {
+            let item = ctx.slice.item_base + k;
             if st.pool.wants_approx(wid) {
                 st.out.copy_from_slice(st.pool.last(wid));
-                access.store(l.item, &st.out);
+                access.store(item, &st.out);
                 st.pool.note_approx(wid);
                 n_apx += 1;
-                cost = cost
-                    .add(&st.pool.predict_cost())
-                    .add(&access.body().store_cost(1, ctx.spec));
+                cost = cost.add(&st.predict).add(&st.store_one);
             } else {
-                access.compute(l.item, &mut st.out);
-                access.store(l.item, &st.out);
+                access.compute(item, &mut st.out);
+                access.store(item, &st.out);
                 st.pool.observe(wid, &st.out);
                 n_acc += 1;
                 // Serialized: each lane pays a full single-lane body.
-                cost = cost
-                    .add(&access.body().accurate_cost(1, ctx.spec))
-                    .add(&st.pool.observe_cost());
+                cost = cost.add(&st.accurate_one).add(&st.observe);
             }
         }
-        acc.charge(ctx.warp, &cost);
+        acc.charge(ctx.slice.warp, &cost);
         acc.note_step(n_acc, n_apx, 0, n_acc > 0 && n_apx > 0);
     }
 }

@@ -132,6 +132,34 @@ impl CostProfile {
     pub fn is_zero(&self) -> bool {
         *self == CostProfile::default()
     }
+
+    /// Resolve this profile against a device's cost parameters once, so the
+    /// result can be charged repeatedly without re-deriving the cycle sums.
+    ///
+    /// `charge_precomposed` with the result adds bit-identical values to what
+    /// [`crate::engine::BlockAccumulator::charge`] would compute from the
+    /// profile itself: `issue_cycles`/`latency_cycles` are deterministic pure
+    /// functions of (profile, params), evaluated here exactly once.
+    pub fn precompose(&self, p: &CostParams) -> PrecomposedCost {
+        PrecomposedCost {
+            issue: self.issue_cycles(p),
+            latency: self.latency_cycles(p),
+            global_txns: self.global_txns,
+        }
+    }
+}
+
+/// A [`CostProfile`] already folded through a device's [`CostParams`]:
+/// the per-charge work is two f64 adds per accumulator field instead of a
+/// seven-term dot product. Produced by [`CostProfile::precompose`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrecomposedCost {
+    /// Issue cycles this cost occupies on the SM pipelines.
+    pub issue: f64,
+    /// Dependent (hideable) memory latency cycles.
+    pub latency: f64,
+    /// Total 128-byte global transactions (kept for the stats counters).
+    pub global_txns: f64,
 }
 
 /// Accumulated cycles for one warp over a whole kernel.

@@ -7,7 +7,7 @@
 //! accumulated per-warp cycles through the SM scheduling model into a
 //! [`KernelRecord`].
 
-use crate::cost::{CostProfile, WarpCycles};
+use crate::cost::{CostProfile, PrecomposedCost, WarpCycles};
 use crate::dim::LaunchConfig;
 use crate::spec::{CostParams, DeviceSpec};
 use crate::stats::KernelStats;
@@ -78,10 +78,34 @@ impl BlockAccumulator {
 
     /// Charge one warp-step's cost to warp `warp` of this block.
     pub fn charge(&mut self, warp: u32, profile: &CostProfile) {
-        self.stats.total_issue_cycles += profile.issue_cycles(&self.costs);
-        self.stats.total_latency_cycles += profile.latency_cycles(&self.costs);
-        self.stats.global_txns += profile.global_txns as u64;
-        self.warps[warp as usize].charge(profile, &self.costs);
+        self.charge_precomposed(warp, &profile.precompose(&self.costs));
+    }
+
+    /// Charge a cost already resolved against this device's parameters
+    /// (see [`CostProfile::precompose`]). This is the hot-path entry: the
+    /// memoized walk resolves each distinct lane-mix once and replays the
+    /// cached cycle sums here.
+    pub fn charge_precomposed(&mut self, warp: u32, cost: &PrecomposedCost) {
+        self.stats.total_issue_cycles += cost.issue;
+        self.stats.total_latency_cycles += cost.latency;
+        self.stats.global_txns += cost.global_txns as u64;
+        let w = &mut self.warps[warp as usize];
+        w.issue += cost.issue;
+        w.latency += cost.latency;
+    }
+
+    /// The device cost parameters this accumulator charges against.
+    pub fn params(&self) -> &CostParams {
+        &self.costs
+    }
+
+    /// Clear accumulated cycles and statistics so the allocation can be
+    /// reused for another block of the same geometry.
+    pub fn reset(&mut self) {
+        for w in &mut self.warps {
+            *w = WarpCycles::default();
+        }
+        self.stats = KernelStats::default();
     }
 
     /// Record the outcome of one warp step (see [`KernelExec::note_step`]).
@@ -175,7 +199,7 @@ impl KernelExec {
     /// Call once per block, in ascending block order: the u64 counters are
     /// order-independent, and the fixed order makes the f64 cycle totals
     /// bit-deterministic as well.
-    pub fn merge_block(&mut self, block: u32, acc: BlockAccumulator) {
+    pub fn merge_block(&mut self, block: u32, acc: &BlockAccumulator) {
         let warps = &mut self.blocks[block as usize];
         debug_assert_eq!(warps.len(), acc.warps.len());
         for (w, cycles) in warps.iter_mut().zip(&acc.warps) {

@@ -38,7 +38,7 @@ pub mod transfer;
 pub mod warp;
 
 pub use coalesce::AccessPattern;
-pub use cost::CostProfile;
+pub use cost::{CostProfile, PrecomposedCost};
 pub use dim::{LaunchConfig, Schedule};
 pub use engine::{BlockAccumulator, KernelExec, KernelRecord, LaunchError};
 pub use spec::{CostParams, DeviceSpec, Vendor};
