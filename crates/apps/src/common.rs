@@ -212,11 +212,13 @@ impl ComputeMemo {
         let c = self.class_of[i] as usize;
         let base = c * self.out_dim;
         if self.filled[c].load(Ordering::Acquire) {
+            hpac_obs::inc(hpac_obs::CounterId::ComputeMemoHits);
             for (d, o) in out.iter_mut().enumerate() {
                 *o = f64::from_bits(self.slots[base + d].load(Ordering::Relaxed));
             }
             return;
         }
+        hpac_obs::inc(hpac_obs::CounterId::ComputeMemoMisses);
         compute(out);
         for (d, o) in out.iter().enumerate() {
             self.slots[base + d].store(o.to_bits(), Ordering::Relaxed);

@@ -1,0 +1,129 @@
+//! Overhead of the `hpac-obs` instrumentation, both sides of the gate.
+//!
+//! The contract the disabled numbers guard: with tracing off, every
+//! instrumentation site is one relaxed atomic load plus a branch, so an
+//! instrumented walk must stay within noise (<1%) of the pre-obs baseline
+//! recorded in `benches/walk.rs`. The enabled cases quantify what flipping
+//! `HPAC_TRACE` on actually costs — per-event ring-buffer recording, not a
+//! global lock. `cargo bench --no-run` in CI keeps these compiling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{AccessPattern, CostProfile, DeviceSpec, LaunchConfig};
+use hpac_core::exec::{approx_parallel_for_opts, ExecOptions, RegionBody};
+use hpac_core::region::ApproxRegion;
+use std::hint::black_box;
+
+const N_ITEMS: usize = 1 << 14;
+const BLOCK_SIZE: u32 = 256;
+
+/// Same plateau-structured body as `benches/walk.rs`, so the traced-walk
+/// numbers compare directly against the untraced walk bench.
+struct WalkBody {
+    input: Vec<f64>,
+    output: Vec<f64>,
+}
+
+impl WalkBody {
+    fn new() -> Self {
+        let input: Vec<f64> = (0..N_ITEMS)
+            .map(|i| ((i >> 6) as f64) + 0.25 * ((i % 3) as f64))
+            .collect();
+        WalkBody {
+            input,
+            output: vec![0.0; N_ITEMS],
+        }
+    }
+}
+
+impl RegionBody for WalkBody {
+    fn in_dim(&self) -> usize {
+        1
+    }
+
+    fn out_dim(&self) -> usize {
+        1
+    }
+
+    fn inputs(&self, i: usize, buf: &mut [f64]) {
+        buf[0] = self.input[i];
+    }
+
+    fn compute(&self, i: usize, out: &mut [f64]) {
+        let x = self.input[i];
+        out[0] = (x + 1.0).sqrt() + (x + 2.0).ln();
+    }
+
+    fn store(&mut self, i: usize, out: &[f64]) {
+        self.output[i] = out[0];
+    }
+
+    fn accurate_cost(&self, lanes: u32, _spec: &DeviceSpec) -> CostProfile {
+        CostProfile::new()
+            .flops(20.0)
+            .sfu(2.0)
+            .global_read(lanes, 8, AccessPattern::Coalesced)
+            .global_write(lanes, 8, AccessPattern::Coalesced)
+    }
+}
+
+fn bench_disabled_primitives(c: &mut Criterion) {
+    hpac_obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs_disabled");
+    group.sample_size(20);
+    group.bench_function("span", |b| {
+        b.iter(|| black_box(hpac_obs::span(hpac_obs::SpanId::KernelWalk, 1, 2)))
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| hpac_obs::add(black_box(hpac_obs::CounterId::WarpSteps), black_box(3)))
+    });
+    group.bench_function("mark", |b| {
+        b.iter(|| hpac_obs::mark(black_box(hpac_obs::Mark::QueueDepth), 1, 2))
+    });
+    group.finish();
+}
+
+fn bench_enabled_primitives(c: &mut Criterion) {
+    hpac_obs::set_enabled(true);
+    let mut group = c.benchmark_group("obs_enabled");
+    group.sample_size(20);
+    group.bench_function("span", |b| {
+        b.iter(|| black_box(hpac_obs::span(hpac_obs::SpanId::KernelWalk, 1, 2)))
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| hpac_obs::add(black_box(hpac_obs::CounterId::WarpSteps), black_box(3)))
+    });
+    group.finish();
+    hpac_obs::set_enabled(false);
+}
+
+fn bench_walk_both_sides(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let launch = LaunchConfig::one_item_per_thread(N_ITEMS, BLOCK_SIZE);
+    let opts = ExecOptions::default();
+    let region = ApproxRegion::memo_out(2, 64, 0.5);
+
+    let mut group = c.benchmark_group("walk_traced");
+    group.sample_size(20);
+    for (name, traced) in [("taf_untraced", false), ("taf_traced", true)] {
+        group.bench_function(name, |b| {
+            hpac_obs::set_enabled(traced);
+            let mut body = WalkBody::new();
+            b.iter(|| {
+                black_box(
+                    approx_parallel_for_opts(&spec, &launch, Some(&region), &mut body, &opts)
+                        .unwrap(),
+                )
+            });
+            hpac_obs::set_enabled(false);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disabled_primitives,
+    bench_enabled_primitives,
+    bench_walk_both_sides
+);
+criterion_main!(benches);

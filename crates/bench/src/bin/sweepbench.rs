@@ -18,7 +18,14 @@
 //! Flags: `--full` uses the paper's complete Table 2 grids;
 //! `--app <name>` restricts the run to applications whose name contains
 //! `<name>` (case-insensitive); `HPAC_THREADS=<n>` sets the engine width
-//! (`0` = all cores).
+//! (`0` = all cores); `HPAC_TRACE=<path>[:jsonl|chrome]` additionally
+//! streams the full event trace to a sink.
+//!
+//! Observability: each app's parallel warmup pass runs with `hpac-obs`
+//! enabled and its [`hpac_obs::MetricsSnapshot`] delta — memo hit rates and
+//! per-worker utilization — lands in `BENCH_sweep.json` next to the timing
+//! numbers. The timed repetitions run untraced unless `HPAC_TRACE` is set,
+//! so published wall-clocks never include tracing overhead by surprise.
 
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::Benchmark;
@@ -80,6 +87,15 @@ struct AppTiming {
     rows: usize,
     seq_seconds: f64,
     par_seconds: f64,
+    /// `MixMemo` hit rate over the parallel warmup pass; `None` if the app
+    /// made no lookups.
+    mix_memo_hit_rate: Option<f64>,
+    /// `ComputeMemo` hit rate over the parallel warmup pass (only Binomial
+    /// interns input rows today).
+    compute_memo_hit_rate: Option<f64>,
+    /// Fraction of the effective engine width kept busy during the parallel
+    /// warmup pass.
+    workers_utilization: f64,
 }
 
 impl AppTiming {
@@ -134,25 +150,60 @@ fn median(mut xs: Vec<f64>) -> f64 {
     }
 }
 
-/// Warmup + `REPS` timed sweeps; returns the median seconds and the warmup
-/// outcome (for the executor-agreement check).
+/// One executor's measurement: the timed median plus the warmup pass's
+/// outcome and metrics delta.
+struct ExecutorRun {
+    median_seconds: f64,
+    outcome: runner::SweepOutcome,
+    warmup_seconds: f64,
+    /// Counters accumulated over the warmup pass only.
+    metrics: hpac_obs::MetricsSnapshot,
+}
+
+/// Warmup + `REPS` timed sweeps. The warmup pass always runs with obs
+/// enabled so its `MetricsSnapshot` delta is available; when no trace sink
+/// is active (`traced == false`) the gate is switched back off for the
+/// timed repetitions, keeping the published medians untraced.
 fn bench_executor(
     bench: &dyn Benchmark,
     spec: &DeviceSpec,
     scale: Scale,
     opts: &ExecOptions,
-) -> (f64, runner::SweepOutcome) {
-    let warmup = runner::run_sweep_serial(bench, spec, scale, opts);
+    traced: bool,
+) -> ExecutorRun {
+    hpac_obs::set_enabled(true);
+    let before = hpac_obs::snapshot();
+    let t = Instant::now();
+    let outcome = runner::run_sweep_serial(bench, spec, scale, opts);
+    let warmup_seconds = t.elapsed().as_secs_f64();
+    let metrics = hpac_obs::snapshot().delta_since(&before);
+    hpac_obs::set_enabled(traced);
+    if traced {
+        // Drain between passes (outside the timed window) so a single
+        // pass's events cannot wrap the ring buffers.
+        hpac_obs::flush().expect("flush trace sink");
+    }
+
     let mut secs = Vec::with_capacity(REPS);
     for _ in 0..REPS {
         let t = Instant::now();
         let _ = runner::run_sweep_serial(bench, spec, scale, opts);
         secs.push(t.elapsed().as_secs_f64());
+        if traced {
+            hpac_obs::flush().expect("flush trace sink");
+        }
     }
-    (median(secs), warmup)
+    ExecutorRun {
+        median_seconds: median(secs),
+        outcome,
+        warmup_seconds,
+        metrics,
+    }
 }
 
 fn main() {
+    hpac_obs::init_from_env();
+    let traced = hpac_obs::sink_config().is_some();
     let scale = hpac_bench::scale_from_args();
     let filter = app_filter_from_args();
     let commit = git_commit();
@@ -180,8 +231,8 @@ fn main() {
          commit {commit}"
     );
     println!(
-        "{:<18} {:>8} {:>12} {:>12} {:>9} {:>10}",
-        "benchmark", "configs", "seq [s]", "par [s]", "speedup", "cfg/s"
+        "{:<18} {:>8} {:>12} {:>12} {:>9} {:>10} {:>8} {:>8}",
+        "benchmark", "configs", "seq [s]", "par [s]", "speedup", "cfg/s", "util", "memohit"
     );
 
     let apps: Vec<Box<dyn Benchmark>> = suite()
@@ -202,12 +253,16 @@ fn main() {
 
     let mut timings: Vec<AppTiming> = Vec::new();
     for bench in apps {
-        let (seq_seconds, seq) = bench_executor(bench.as_ref(), &spec, scale, &seq_opts);
-        let (par_seconds, par) = bench_executor(bench.as_ref(), &spec, scale, &par_opts);
+        let seq = bench_executor(bench.as_ref(), &spec, scale, &seq_opts, traced);
+        let par = bench_executor(bench.as_ref(), &spec, scale, &par_opts, traced);
 
         // The executors must agree on what they computed, not just be fast.
-        assert_eq!(seq.rows.len(), par.rows.len(), "row count diverged");
-        for (a, b) in seq.rows.iter().zip(&par.rows) {
+        assert_eq!(
+            seq.outcome.rows.len(),
+            par.outcome.rows.len(),
+            "row count diverged"
+        );
+        for (a, b) in seq.outcome.rows.iter().zip(&par.outcome.rows) {
             assert_eq!(a.config, b.config);
             assert_eq!(
                 a.speedup.to_bits(),
@@ -218,20 +273,28 @@ fn main() {
             );
         }
 
+        let warmup_wall_ns = (par.warmup_seconds * 1e9) as u64;
         let t = AppTiming {
             name: bench.name(),
-            rows: seq.rows.len(),
-            seq_seconds,
-            par_seconds,
+            rows: seq.outcome.rows.len(),
+            seq_seconds: seq.median_seconds,
+            par_seconds: par.median_seconds,
+            mix_memo_hit_rate: par.metrics.mix_memo_hit_rate(),
+            compute_memo_hit_rate: par.metrics.compute_memo_hit_rate(),
+            workers_utilization: par.metrics.utilization(warmup_wall_ns, workers),
         };
         println!(
-            "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x {:>10.1}",
+            "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x {:>10.1} {:>7.1}% {:>7}",
             t.name,
             t.rows,
             t.seq_seconds,
             t.par_seconds,
             t.speedup(),
-            t.configs_per_second()
+            t.configs_per_second(),
+            t.workers_utilization * 100.0,
+            t.mix_memo_hit_rate
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "-".into()),
         );
         timings.push(t);
     }
@@ -260,19 +323,24 @@ fn main() {
     let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(json, "  \"device\": \"{}\",", spec.name);
     let _ = writeln!(json, "  \"apps\": [");
+    let fmt_rate = |r: Option<f64>| r.map_or("null".to_string(), |r| format!("{r:.4}"));
     for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{\"benchmark\": \"{}\", \"configs\": {}, \"sequential_seconds\": {:.6}, \
              \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \
-             \"configs_per_second\": {:.4}}}{}",
+             \"configs_per_second\": {:.4}, \"mix_memo_hit_rate\": {}, \
+             \"compute_memo_hit_rate\": {}, \"workers_utilization\": {:.4}}}{}",
             t.name,
             t.rows,
             t.seq_seconds,
             t.par_seconds,
             t.speedup(),
             t.configs_per_second(),
+            fmt_rate(t.mix_memo_hit_rate),
+            fmt_rate(t.compute_memo_hit_rate),
+            t.workers_utilization,
             comma
         );
     }
@@ -288,5 +356,15 @@ fn main() {
     } else {
         std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
         println!("wrote BENCH_sweep.json");
+    }
+
+    // Process-lifetime metrics summary (warmup passes, plus the timed reps
+    // when HPAC_TRACE kept tracing on throughout).
+    println!("\nobs metrics (cumulative):");
+    print!("{}", hpac_obs::snapshot().render_table());
+    if traced {
+        let cfg = hpac_obs::sink_config().expect("sink installed");
+        hpac_obs::finish().expect("finalize trace sink");
+        println!("wrote trace to {} ({:?})", cfg.path.display(), cfg.format);
     }
 }

@@ -10,7 +10,9 @@
 //! cache — the `source` column flips from `search` to `cache`.
 //!
 //! Flags: `--bound <pct>` changes the error bound; `--fresh` clears the
-//! cache first.
+//! cache first. `HPAC_TRACE=<path>[:jsonl|chrome]` records the tuner's
+//! search trajectory (spans per tune request and grid, Pareto/cache
+//! counters) and prints a metrics summary at the end.
 
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::Benchmark;
@@ -62,6 +64,8 @@ fn suite() -> Vec<Box<dyn Benchmark>> {
 }
 
 fn main() {
+    hpac_obs::init_from_env();
+    let traced = hpac_obs::sink_config().is_some();
     let args: Vec<String> = std::env::args().collect();
     let bound_pct = args
         .iter()
@@ -92,6 +96,11 @@ fn main() {
         let mut speedups = Vec::new();
         for bench in suite() {
             let plan = tuner.tune(bench.as_ref(), &device, bound);
+            if traced {
+                // Drain per request so a cold full-matrix search cannot
+                // wrap the ring buffers.
+                hpac_obs::flush().expect("flush trace sink");
+            }
             assert!(
                 plan.respects_bound(),
                 "{} on {} violates the bound",
@@ -137,4 +146,11 @@ fn main() {
             ""
         }
     );
+    if hpac_obs::enabled() {
+        println!("\nobs metrics:");
+        print!("{}", hpac_obs::snapshot().render_table());
+        let cfg = hpac_obs::sink_config().expect("sink installed");
+        hpac_obs::finish().expect("finalize trace sink");
+        println!("wrote trace to {} ({:?})", cfg.path.display(), cfg.format);
+    }
 }

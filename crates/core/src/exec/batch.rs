@@ -78,7 +78,7 @@ impl ResolvedPolicy {
             hi: u32,
         ) -> Vec<BlockAccumulator> {
             let mut arena = WalkArena::new(geom);
-            (lo..hi)
+            let accs = (lo..hi)
                 .map(|b| {
                     let mut acc =
                         BlockAccumulator::new(geom.warps_per_block as usize, geom.spec.costs);
@@ -86,7 +86,9 @@ impl ResolvedPolicy {
                     walk_block(geom, policy, &mut access, b, &mut arena, &mut acc);
                     acc
                 })
-                .collect()
+                .collect();
+            crate::exec::walk::flush_memo_stats(&mut arena);
+            accs
         }
         match self {
             ResolvedPolicy::Accurate(p) => go(p, geom, body, lo, hi),

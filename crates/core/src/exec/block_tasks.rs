@@ -132,10 +132,23 @@ pub fn approx_block_tasks_opts(
         }
     };
     let parallel = wants_fan_out && width > 1 && n_blocks > 1 && !engine().is_nested();
+    if hpac_obs::enabled() && matches!(opts.executor, Executor::Auto) {
+        hpac_obs::inc(if parallel {
+            hpac_obs::CounterId::AutoFanOut
+        } else {
+            hpac_obs::CounterId::AutoInline
+        });
+    }
+    let _span = hpac_obs::span(
+        hpac_obs::SpanId::BlockTasks,
+        n_blocks as u64,
+        walk.steps as u64,
+    );
 
     if parallel {
         let shared_body: &dyn BlockTaskBody = body;
         let ranges = chunk_ranges(n_blocks, width);
+        hpac_obs::add(hpac_obs::CounterId::WalkChunks, ranges.len() as u64);
         let per_chunk: Vec<(Vec<BlockAccumulator>, StoreBuffer)> =
             engine().run(ranges.len(), width, |k| {
                 let (lo, hi) = ranges[k];

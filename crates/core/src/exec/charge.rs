@@ -30,6 +30,11 @@ pub(crate) struct MixMemo {
     side: usize,
     slots: Vec<Option<PrecomposedCost>>,
     params: CostParams,
+    // Plain (non-atomic) tallies: cheaper on the hot path than a gate
+    // check, drained to obs counters at arena retirement when tracing is
+    // on (`hit_stats` + `reset_stats`).
+    hits: u64,
+    misses: u64,
 }
 
 impl MixMemo {
@@ -39,6 +44,8 @@ impl MixMemo {
             side,
             slots: vec![None; side * side],
             params,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -52,11 +59,23 @@ impl MixMemo {
     ) -> PrecomposedCost {
         let i = n_acc as usize * self.side + n_apx as usize;
         if let Some(c) = self.slots[i] {
+            self.hits += 1;
             return c;
         }
+        self.misses += 1;
         let c = assemble().precompose(&self.params);
         self.slots[i] = Some(c);
         c
+    }
+
+    /// Lookup tallies since the last [`reset_stats`](Self::reset_stats).
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
     }
 }
 

@@ -64,7 +64,33 @@ impl ExecEngine {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        pool::global().run(n, width, f)
+        if !hpac_obs::enabled() {
+            return pool::global().run(n, width, f);
+        }
+        if pool::in_task() {
+            // Nested submission: runs inline inside the enclosing task, so
+            // it is already inside that task's span and busy time.
+            hpac_obs::inc(hpac_obs::CounterId::EngineNestedInline);
+            return pool::global().run(n, width, f);
+        }
+        hpac_obs::inc(hpac_obs::CounterId::EngineBatches);
+        hpac_obs::mark(
+            hpac_obs::Mark::QueueDepth,
+            pool::global().busy_workers() as u64,
+            n as u64,
+        );
+        let _batch = hpac_obs::span(hpac_obs::SpanId::EngineBatch, n as u64, width as u64);
+        pool::global().run(n, width, |i| {
+            let t0 = hpac_obs::now_ns();
+            let _task = hpac_obs::span(hpac_obs::SpanId::EngineTask, i as u64, n as u64);
+            let r = f(i);
+            hpac_obs::inc(hpac_obs::CounterId::EngineTasks);
+            hpac_obs::add(
+                hpac_obs::CounterId::EngineBusyNs,
+                hpac_obs::now_ns().saturating_sub(t0),
+            );
+            r
+        })
     }
 
     /// Is the calling thread already inside an engine task? Submissions
@@ -124,6 +150,7 @@ impl ExecEngine {
         let total: usize = sizes.iter().sum();
         let progress = Mutex::new(vec![0usize; sizes.len()]);
         let barrier = Condvar::new();
+        hpac_obs::add(hpac_obs::CounterId::EnginePhases, sizes.len() as u64);
 
         let mut flat = self
             .run(total, width, |idx| {
@@ -139,9 +166,17 @@ impl ExecEngine {
                     Err(i) => i - 1,
                 };
                 if p > 0 {
+                    let wait_from = hpac_obs::enabled().then(hpac_obs::now_ns);
                     let mut done = progress.lock().unwrap();
                     while !(0..p).all(|q| done[q] == sizes[q]) {
                         done = barrier.wait(done).unwrap();
+                    }
+                    drop(done);
+                    if let Some(t0) = wait_from {
+                        hpac_obs::add(
+                            hpac_obs::CounterId::EngineBarrierWaitNs,
+                            hpac_obs::now_ns().saturating_sub(t0),
+                        );
                     }
                 }
                 let r = f(p, idx - offsets[p]);

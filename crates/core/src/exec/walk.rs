@@ -234,7 +234,27 @@ fn should_fan_out(geom: &Geom, opts: &ExecOptions, width: usize) -> bool {
                 >= AUTO_FANOUT_MIN_WARP_STEPS
         }
     };
-    wants && width > 1 && geom.n_blocks > 1 && !engine().is_nested()
+    let fan = wants && width > 1 && geom.n_blocks > 1 && !engine().is_nested();
+    if hpac_obs::enabled() && matches!(opts.executor, Executor::Auto) {
+        hpac_obs::inc(if fan {
+            hpac_obs::CounterId::AutoFanOut
+        } else {
+            hpac_obs::CounterId::AutoInline
+        });
+    }
+    fan
+}
+
+/// Drain an arena's memo tallies into the calling worker's obs counters.
+/// Called where an arena retires (end of chunk task / sequential walk), so
+/// the per-lookup hot path stays a plain integer increment.
+pub(crate) fn flush_memo_stats(arena: &mut WalkArena) {
+    if hpac_obs::enabled() {
+        let (h, m) = arena.memo.hit_stats();
+        hpac_obs::add(hpac_obs::CounterId::MixMemoHits, h);
+        hpac_obs::add(hpac_obs::CounterId::MixMemoMisses, m);
+        arena.memo.reset_stats();
+    }
 }
 
 /// Run every block of the launch through `policy` and fold the results into
@@ -257,6 +277,11 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
     let width = engine().width_for(opts);
     let parallel = should_fan_out(&geom, opts, width);
     let wpb = geom.warps_per_block as usize;
+    let _walk = hpac_obs::span(
+        hpac_obs::SpanId::KernelWalk,
+        geom.n_blocks as u64,
+        (geom.n_blocks as usize * wpb * geom.steps) as u64,
+    );
 
     match (parallel, body.store_visibility()) {
         (true, StoreVisibility::Independent) => {
@@ -267,6 +292,7 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
             // (per-block accumulators must stay separate: the timing model
             // wants per-block cycles).
             let ranges = chunk_ranges(geom.n_blocks, width);
+            hpac_obs::add(hpac_obs::CounterId::WalkChunks, ranges.len() as u64);
             let shared_body: &dyn RegionBody = body;
             let per_chunk: Vec<(Vec<BlockAccumulator>, StoreBuffer)> =
                 engine().run(ranges.len(), width, |k| {
@@ -281,6 +307,7 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
                             acc
                         })
                         .collect();
+                    flush_memo_stats(&mut arena);
                     (accs, stores)
                 });
             let mut b = 0u32;
@@ -300,18 +327,21 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
             // stores commit inline from each block's worker and the block's
             // own later reads (Jacobi sweeps) observe them immediately.
             let ranges = chunk_ranges(geom.n_blocks, width);
+            hpac_obs::add(hpac_obs::CounterId::WalkChunks, ranges.len() as u64);
             let shared_body: &dyn RegionBody = body;
             let per_chunk: Vec<Vec<BlockAccumulator>> = engine().run(ranges.len(), width, |k| {
                 let (lo, hi) = ranges[k];
                 let mut arena = WalkArena::new(&geom);
-                (lo..hi)
+                let accs = (lo..hi)
                     .map(|b| {
                         let mut acc = BlockAccumulator::new(wpb, geom.spec.costs);
                         let mut access = SharedAccess { body: shared_body };
                         walk_block(&geom, policy, &mut access, b, &mut arena, &mut acc);
                         acc
                     })
-                    .collect()
+                    .collect::<Vec<_>>();
+                flush_memo_stats(&mut arena);
+                accs
             });
             for (b, acc) in per_chunk.iter().flatten().enumerate() {
                 exec.merge_block(b as u32, acc);
@@ -329,6 +359,7 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
                 exec.merge_block(b, &acc);
                 acc.reset();
             }
+            flush_memo_stats(&mut arena);
         }
     }
     Ok(exec.finish())

@@ -218,6 +218,19 @@ impl KernelExec {
             self.shared_bytes_per_block,
             &self.blocks,
         );
+        // Every kernel — slice walk, block tasks, uniform charge — funnels
+        // through here, so this is the one place modeled execution stats
+        // feed the obs counters.
+        if hpac_obs::enabled() {
+            use hpac_obs::CounterId as C;
+            hpac_obs::inc(C::KernelLaunches);
+            hpac_obs::add(C::WarpSteps, self.stats.warp_steps);
+            hpac_obs::add(C::DivergentSteps, self.stats.divergent_steps);
+            hpac_obs::add(C::ApproxLanes, self.stats.approx_lanes);
+            hpac_obs::add(C::AccurateLanes, self.stats.accurate_lanes);
+            hpac_obs::add(C::SkippedLanes, self.stats.skipped_lanes);
+            hpac_obs::add(C::GlobalTxns, self.stats.global_txns);
+        }
         KernelRecord {
             timing,
             stats: self.stats,

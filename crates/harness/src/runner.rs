@@ -34,7 +34,13 @@ pub fn select_baseline_opts(
 ) -> Baseline {
     let kernel_only = bench.kernel_only_timing();
     let block = space::block_size_for(bench);
-    space::baseline_ipts(bench)
+    let candidates = space::baseline_ipts(bench);
+    let _span = hpac_obs::span_named(
+        hpac_obs::SpanId::BaselineSelect,
+        bench.name(),
+        candidates.len() as u64,
+    );
+    candidates
         .into_iter()
         .map(|ipt| {
             let lp = LaunchParams::new(ipt, block);
@@ -80,7 +86,25 @@ pub fn run_config_opts(
     opts: &ExecOptions,
 ) -> Result<Row, (String, String)> {
     let kernel_only = bench.kernel_only_timing();
-    match bench.run_opts(spec, Some(&cfg.region), &cfg.lp, opts) {
+    let eval_from = hpac_obs::enabled().then(hpac_obs::now_ns);
+    let _span = hpac_obs::span_named(
+        hpac_obs::SpanId::ConfigEval,
+        bench.name(),
+        cfg.lp.items_per_thread as u64,
+    );
+    let outcome = bench.run_opts(spec, Some(&cfg.region), &cfg.lp, opts);
+    if let Some(t0) = eval_from {
+        hpac_obs::add(
+            hpac_obs::CounterId::ConfigEvalNs,
+            hpac_obs::now_ns().saturating_sub(t0),
+        );
+        hpac_obs::inc(if outcome.is_ok() {
+            hpac_obs::CounterId::ConfigsEvaluated
+        } else {
+            hpac_obs::CounterId::ConfigsRejected
+        });
+    }
+    match outcome {
         Ok(res) => {
             let err = res.qoi.error_vs(&baseline.result.qoi);
             let seconds = res.timing_basis_seconds(kernel_only);
@@ -117,6 +141,7 @@ pub fn run_sweep(bench: &dyn Benchmark, spec: &DeviceSpec, scale: Scale) -> Swee
     let opts = ExecOptions::default();
     let baseline = select_baseline_opts(bench, spec, &opts);
     let plan = space::plan(bench, spec, scale);
+    let _sweep = hpac_obs::span_named(hpac_obs::SpanId::SweepApp, bench.name(), plan.len() as u64);
     let results: Vec<Result<Row, (String, String)>> =
         engine().run(plan.len(), engine().default_width(), |i| {
             run_config_opts(bench, spec, &baseline, &plan[i], &opts)
@@ -151,6 +176,7 @@ pub fn run_sweep_serial(
 ) -> SweepOutcome {
     let baseline = select_baseline_opts(bench, spec, opts);
     let plan = space::plan(bench, spec, scale);
+    let _sweep = hpac_obs::span_named(hpac_obs::SpanId::SweepApp, bench.name(), plan.len() as u64);
     let mut rows = Vec::with_capacity(plan.len());
     let mut rejected = Vec::new();
     for cfg in &plan {
@@ -177,6 +203,11 @@ pub fn run_configs(
     // nested kernel fan-outs inlined by the engine's depth guard.
     let opts = ExecOptions::default();
     let baseline = select_baseline_opts(bench, spec, &opts);
+    let _sweep = hpac_obs::span_named(
+        hpac_obs::SpanId::SweepApp,
+        bench.name(),
+        configs.len() as u64,
+    );
     let results: Vec<Result<Row, (String, String)>> =
         engine().run(configs.len(), engine().default_width(), |i| {
             run_config_opts(bench, spec, &baseline, &configs[i], &opts)

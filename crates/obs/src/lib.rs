@@ -1,0 +1,300 @@
+//! `hpac-obs` — structured tracing and metrics for the HPAC stack.
+//!
+//! Dependency-free, in the spirit of the shim crates. The design contract:
+//!
+//! - **Disabled is free.** Every recording entry point starts with a branch
+//!   on one static `AtomicBool` loaded `Relaxed` ([`enabled`]); nothing else
+//!   happens when tracing is off, so instrumented hot paths (the walk
+//!   benches) stay within noise of uninstrumented ones.
+//! - **No locks on the hot path.** Each recording thread owns a private
+//!   ring buffer ([`ring`] module) reached via a thread-local; records are
+//!   plain atomic stores, counters are relaxed `fetch_add`s on per-worker
+//!   cells. Locks exist only at the edges: first-use ring registration,
+//!   string interning (low-frequency names), and sink flushes.
+//! - **One diagnostics path.** Library crates report problems through
+//!   [`log_warn`], which lands in the trace *and* on stderr; ad-hoc
+//!   `eprintln!`/`println!` in library code is a CI failure.
+//!
+//! Activation: bins call [`init_from_env`], which reads
+//! `HPAC_TRACE=<path>[:jsonl|chrome]` (strictly validated, like
+//! `HPAC_THREADS`) and, when set, installs a sink and flips the gate. Tests
+//! and embedders can flip it directly with [`set_enabled`] and inspect
+//! metrics in-process via [`snapshot`] without any sink.
+
+mod event;
+mod ring;
+mod sink;
+mod snapshot;
+
+pub use event::{intern, resolve, CounterId, Mark, OwnedEvent, Payload, SpanId, N_COUNTERS};
+pub use ring::{drain_events, RING_CAP};
+pub use sink::{
+    finish, flush, install_sink, parse_hpac_trace, sink_config, FlushStats, SinkConfig, TraceFormat,
+};
+pub use snapshot::{snapshot, MetricsSnapshot, WorkerMetrics};
+
+use event::Kind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether tracing is on. The one branch every instrumentation site pays
+/// when tracing is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flip the recording gate. Spans already open keep their start timestamp
+/// and record on drop regardless, so toggling mid-span loses nothing.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (first use).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Read `HPAC_TRACE` and, when set, install the sink and enable tracing.
+/// Precedence and strictness follow `HPAC_THREADS`: unset or empty means
+/// off; a malformed value or an unwritable path is a hard panic (a bench
+/// run that silently drops its trace is worse than one that fails fast).
+pub fn init_from_env() {
+    let raw = match std::env::var("HPAC_TRACE") {
+        Ok(v) => v,
+        Err(std::env::VarError::NotPresent) => return,
+        Err(e) => panic!("HPAC_TRACE is not valid unicode: {e}"),
+    };
+    match parse_hpac_trace(&raw) {
+        Ok(None) => {}
+        Ok(Some(cfg)) => {
+            let path = cfg.path.clone();
+            install_sink(cfg)
+                .unwrap_or_else(|e| panic!("HPAC_TRACE: cannot open {}: {e}", path.display()));
+            set_enabled(true);
+        }
+        Err(msg) => panic!("invalid HPAC_TRACE value {raw:?}: {msg}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording API
+// ---------------------------------------------------------------------------
+
+/// RAII guard for a timed region; records on drop. Inert (a `None` payload)
+/// when tracing was off at creation.
+pub struct Span {
+    live: Option<(SpanId, u64, u64, u64)>,
+}
+
+impl Span {
+    /// An inert span, for call sites that need an explicit "off" value.
+    pub fn none() -> Span {
+        Span { live: None }
+    }
+
+    /// Update the payload words of a live span (e.g. a count known only at
+    /// region end). No-op on an inert span.
+    pub fn set_args(&mut self, a: u64, b: u64) {
+        if let Some((_, _, la, lb)) = self.live.as_mut() {
+            *la = a;
+            *lb = b;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((id, t0, a, b)) = self.live.take() {
+            ring::ring().record(Kind::Span, id as u8, t0, now_ns(), a, b);
+        }
+    }
+}
+
+/// Open a timed span. Free when disabled (one relaxed load + branch).
+#[inline]
+pub fn span(id: SpanId, a: u64, b: u64) -> Span {
+    if !enabled() {
+        return Span::none();
+    }
+    Span {
+        live: Some((id, now_ns(), a, b)),
+    }
+}
+
+/// Open a timed span whose `a` payload is an interned string (app names and
+/// the like). The interner lock is only taken when tracing is on.
+#[inline]
+pub fn span_named(id: SpanId, name: &str, b: u64) -> Span {
+    if !enabled() {
+        return Span::none();
+    }
+    Span {
+        live: Some((id, now_ns(), intern(name), b)),
+    }
+}
+
+/// Record an instant event. Free when disabled.
+#[inline]
+pub fn mark(m: Mark, a: u64, b: u64) {
+    if enabled() {
+        let t = now_ns();
+        ring::ring().record(Kind::Instant, m as u8, t, t, a, b);
+    }
+}
+
+/// Add to a counter on the calling worker's ring. Free when disabled.
+#[inline]
+pub fn add(c: CounterId, n: u64) {
+    if enabled() {
+        ring::ring().add(c, n);
+    }
+}
+
+/// Increment a counter by one. Free when disabled.
+#[inline]
+pub fn inc(c: CounterId) {
+    add(c, 1);
+}
+
+/// The single diagnostics path for library crates: the warning always
+/// reaches stderr, and when tracing is on it is also recorded as an
+/// instant event with the message interned.
+pub fn log_warn(msg: &str) {
+    if enabled() {
+        let t = now_ns();
+        ring::ring().record(Kind::Instant, Mark::LogWarn as u8, t, t, intern(msg), 0);
+        ring::ring().add(CounterId::LogWarnings, 1);
+    }
+    eprintln!("warning: {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Obs state is process-global; unit tests touching it serialize here.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = locked();
+        set_enabled(false);
+        let before = snapshot();
+        inc(CounterId::KernelLaunches);
+        drop(span(SpanId::KernelWalk, 1, 2));
+        mark(Mark::QueueDepth, 3, 4);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter(CounterId::KernelLaunches), 0);
+        assert!(delta.workers.iter().all(|w| w.events == 0));
+    }
+
+    #[test]
+    fn enabled_round_trips_span_and_counter() {
+        let _g = locked();
+        set_enabled(true);
+        let before = snapshot();
+        let _ = drain_events();
+        add(CounterId::WarpSteps, 7);
+        drop(span(SpanId::KernelWalk, 11, 22));
+        mark(Mark::SearchPoint, 5, 6);
+        set_enabled(false);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter(CounterId::WarpSteps), 7);
+        let events = drain_events();
+        let walk = events
+            .iter()
+            .find(|e| e.payload == Payload::Span(SpanId::KernelWalk))
+            .expect("walk span drained");
+        assert_eq!((walk.a, walk.b), (11, 22));
+        assert!(walk.t1_ns >= walk.t0_ns);
+        assert!(events
+            .iter()
+            .any(|e| e.payload == Payload::Instant(Mark::SearchPoint) && e.a == 5 && e.b == 6));
+    }
+
+    #[test]
+    fn ring_wrap_keeps_newest_and_counts_dropped() {
+        let _g = locked();
+        set_enabled(true);
+        let before = snapshot();
+        let _ = drain_events();
+        let n = RING_CAP + 123;
+        for i in 0..n {
+            mark(Mark::QueueDepth, i as u64, 0);
+        }
+        set_enabled(false);
+        let events: Vec<_> = drain_events()
+            .into_iter()
+            .filter(|e| e.payload == Payload::Instant(Mark::QueueDepth))
+            .collect();
+        assert!(events.len() <= RING_CAP);
+        // The newest event always survives.
+        assert!(events.iter().any(|e| e.a == (n - 1) as u64));
+        let delta = snapshot().delta_since(&before);
+        assert!(delta.workers.iter().map(|w| w.dropped).sum::<u64>() >= 123);
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let a = intern("lulesh");
+        let b = intern("lulesh");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a).as_deref(), Some("lulesh"));
+        assert_ne!(intern("kmeans"), a);
+    }
+
+    #[test]
+    fn parse_hpac_trace_accepts_valid_forms() {
+        assert_eq!(parse_hpac_trace("").unwrap(), None);
+        assert_eq!(parse_hpac_trace("   ").unwrap(), None);
+        let c = parse_hpac_trace("trace.jsonl").unwrap().unwrap();
+        assert_eq!(c.format, TraceFormat::Jsonl);
+        let c = parse_hpac_trace("trace.json").unwrap().unwrap();
+        assert_eq!(c.format, TraceFormat::Chrome);
+        let c = parse_hpac_trace("out/trace.bin:chrome").unwrap().unwrap();
+        assert_eq!(c.format, TraceFormat::Chrome);
+        assert_eq!(c.path, std::path::PathBuf::from("out/trace.bin"));
+        let c = parse_hpac_trace("x.json:jsonl").unwrap().unwrap();
+        assert_eq!(c.format, TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn parse_hpac_trace_rejects_garbage() {
+        assert!(parse_hpac_trace("trace.json:protobuf").is_err());
+        assert!(parse_hpac_trace(":chrome").is_err());
+        assert!(
+            parse_hpac_trace("a:b:chrome").is_ok(),
+            "path may contain colons"
+        );
+        assert!(
+            parse_hpac_trace("a:b").is_err(),
+            "last segment must be a format"
+        );
+    }
+
+    #[test]
+    fn span_set_args_updates_payload() {
+        let _g = locked();
+        set_enabled(true);
+        let _ = drain_events();
+        let mut s = span(SpanId::EngineBatch, 0, 0);
+        s.set_args(9, 10);
+        drop(s);
+        set_enabled(false);
+        let events = drain_events();
+        assert!(events
+            .iter()
+            .any(|e| e.payload == Payload::Span(SpanId::EngineBatch) && e.a == 9 && e.b == 10));
+    }
+}

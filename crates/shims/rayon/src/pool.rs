@@ -162,6 +162,18 @@ impl WorkerPool {
         self.spawned.load(Ordering::Relaxed)
     }
 
+    /// Workers currently executing a batch — the queue-pressure signal a
+    /// submitter sees at dispatch time. Racy by nature (flags flip as
+    /// batches finish); callers use it for observability, not scheduling.
+    pub fn busy_workers(&self) -> usize {
+        self.workers
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|w| w.busy.load(Ordering::Relaxed))
+            .count()
+    }
+
     /// Thread ids of the live workers, in worker-index order. The list only
     /// ever grows, and existing entries never change — the "no respawn"
     /// observable.

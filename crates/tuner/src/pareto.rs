@@ -56,6 +56,7 @@ impl ParetoFrontier {
             || candidate.speedup <= 0.0
             || candidate.error_pct < 0.0
         {
+            hpac_obs::inc(hpac_obs::CounterId::ParetoRejects);
             return false;
         }
         if self
@@ -63,9 +64,18 @@ impl ParetoFrontier {
             .iter()
             .any(|p| p.dominates(&candidate) || p.same_coords(&candidate))
         {
+            hpac_obs::inc(hpac_obs::CounterId::ParetoRejects);
             return false;
         }
+        let before = self.points.len();
         self.points.retain(|p| !candidate.dominates(p));
+        if hpac_obs::enabled() {
+            hpac_obs::add(
+                hpac_obs::CounterId::ParetoPrunes,
+                (before - self.points.len()) as u64,
+            );
+            hpac_obs::inc(hpac_obs::CounterId::ParetoInserts);
+        }
         let at = self
             .points
             .partition_point(|p| p.error_pct < candidate.error_pct);

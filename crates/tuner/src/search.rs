@@ -137,6 +137,13 @@ impl<'a> Evaluator<'a> {
                     })
             });
         self.evaluations += fresh.len();
+        if hpac_obs::enabled() {
+            hpac_obs::add(hpac_obs::CounterId::TunerEvals, fresh.len() as u64);
+            hpac_obs::add(
+                hpac_obs::CounterId::TunerEvalsSkipped,
+                (configs.len() - fresh.len()) as u64,
+            );
+        }
         for (cfg, outcome) in fresh.iter().zip(outcomes) {
             if let Some(ev) = &outcome {
                 self.frontier.insert(ParetoPoint {
@@ -149,6 +156,13 @@ impl<'a> Evaluator<'a> {
             }
             self.seen.insert(cfg.label.clone(), outcome);
         }
+        // One trajectory sample per batch: how far the search has come and
+        // how selective the frontier is at this point.
+        hpac_obs::mark(
+            hpac_obs::Mark::SearchPoint,
+            self.evaluations as u64,
+            self.frontier.len() as u64,
+        );
         configs
             .iter()
             .map(|cfg| self.seen.get(&cfg.label).cloned().flatten())

@@ -78,13 +78,21 @@ impl Tuner {
         device: &DeviceSpec,
         bound: QualityBound,
     ) -> TunedPlan {
+        let _tune = hpac_obs::span_named(
+            hpac_obs::SpanId::TunerTune,
+            bench.name(),
+            (bound.max_error_pct * 100.0) as u64,
+        );
+        hpac_obs::inc(hpac_obs::CounterId::TunerRequests);
         let fingerprint = device_fingerprint(device);
         if let Some(cache) = &self.cache {
             if let Some(plan) =
                 cache.load(bench.name(), device.name, bound.max_error_pct, fingerprint)
             {
+                hpac_obs::inc(hpac_obs::CounterId::TunerCacheHits);
                 return plan;
             }
+            hpac_obs::inc(hpac_obs::CounterId::TunerCacheMisses);
         }
 
         let baseline = select_baseline(bench, device);
@@ -94,10 +102,13 @@ impl Tuner {
         // Deterministic per-(benchmark, device) seed so repeated cold tunes
         // retrace the same search.
         let seed = crate::cache::fnv1a(bench.name().bytes().chain(device.name.bytes()));
-        for (i, grid) in Grid::grids_for(bench, device, self.scale)
-            .iter()
-            .enumerate()
-        {
+        let grids = Grid::grids_for(bench, device, self.scale);
+        for (i, grid) in grids.iter().enumerate() {
+            let _grid = hpac_obs::span(
+                hpac_obs::SpanId::TunerSearchGrid,
+                i as u64,
+                grid.size() as u64,
+            );
             search_grid(
                 grid,
                 &mut ev,
@@ -157,7 +168,7 @@ impl Tuner {
 
         if let Some(cache) = &self.cache {
             if let Err(e) = cache.store(&plan, fingerprint) {
-                eprintln!("warning: tuning cache write failed: {e}");
+                hpac_obs::log_warn(&format!("tuning cache write failed: {e}"));
             }
         }
         plan

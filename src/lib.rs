@@ -9,7 +9,10 @@
 //! * [`harness`] — the design-space-exploration harness and figure
 //!   generators,
 //! * [`tuner`] — the quality-constrained autotuner: Pareto frontiers,
-//!   adaptive search, and the persistent tuning cache.
+//!   adaptive search, and the persistent tuning cache,
+//! * [`obs`] — structured tracing and metrics (spans, counters, per-worker
+//!   ring buffers, JSONL / Chrome-trace sinks, `MetricsSnapshot`), enabled
+//!   via `HPAC_TRACE=<path>[:jsonl|chrome]`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
 //! `examples/autotune.rs` for the tuner.
@@ -18,4 +21,5 @@ pub use gpu_sim;
 pub use hpac_apps as apps;
 pub use hpac_core as core;
 pub use hpac_harness as harness;
+pub use hpac_obs as obs;
 pub use hpac_tuner as tuner;
