@@ -1,0 +1,390 @@
+//! Service-throughput benchmark: the tuning-as-a-service front end under a
+//! request stream — cold searches, cache-served repeats, coalesced
+//! concurrent duplicates, and a warm-started neighboring bound.
+//!
+//! Run with: `cargo run --release -p hpac-bench --bin servebench`
+//!
+//! Methodology, against a fresh sharded cache under `target/`:
+//!
+//! 1. **cold** — the seven-app suite is submitted as one batch; every
+//!    request runs a quick-grid search.
+//! 2. **warm** — the identical batch again; every request must be a cache
+//!    hit. The headline number is warm requests/sec over cold requests/sec
+//!    (asserted ≥ 5×; in practice it is orders of magnitude).
+//! 3. **coalesce** — [`FANOUT`] identical requests for a fresh bound are
+//!    submitted concurrently; exactly one search may run.
+//! 4. **warm-start** — a third bound on one (benchmark, device) seeds from
+//!    the cached neighbors' frontiers instead of searching cold.
+//!
+//! Every cold plan is checked bit-identical to a serial `Tuner::tune` of
+//! the same request — the concurrent front end must not change answers.
+//! Per-request provenance comes from the responses themselves; per-phase
+//! provenance is cross-checked against `hpac_obs::snapshot()` counter
+//! deltas, and the run asserts zero dropped obs events. Results land in
+//! `BENCH_serve.json`.
+//!
+//! Flags: `--full` uses the paper's complete Table 2 grids;
+//! `HPAC_THREADS=<n>` sets the engine width; `HPAC_SERVICE_QUEUE=<n>` caps
+//! batch admission; `HPAC_TRACE=<path>[:jsonl|chrome]` streams the event
+//! trace.
+
+use gpu_sim::DeviceSpec;
+use hpac_apps::common::Benchmark;
+use hpac_apps::{
+    binomial::BinomialOptions, blackscholes::Blackscholes, kmeans::KMeans, lavamd::LavaMd,
+    leukocyte::Leukocyte, lulesh::Lulesh, minife::MiniFe,
+};
+use hpac_obs::CounterId;
+use hpac_service::{Source, TuneRequest, TuneResponse, TuningService, WarmStart};
+use hpac_tuner::{QualityBound, Tuner, TuningCache};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Identical concurrent requests in the coalescing phase.
+const FANOUT: usize = 8;
+
+/// Laptop-scale configurations of all seven applications (Table 1 order) —
+/// the same sizes the `tune` driver exercises.
+fn suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Lulesh {
+            edge: 12,
+            steps: 8,
+            dt: 1e-4,
+            ..Lulesh::default()
+        }),
+        Box::new(Leukocyte {
+            n_cells: 8,
+            grid: 16,
+            iterations: 24,
+            ..Leukocyte::default()
+        }),
+        Box::new(BinomialOptions {
+            n_options: 1024,
+            tree_steps: 96,
+            ..BinomialOptions::default()
+        }),
+        Box::new(MiniFe {
+            nx: 10,
+            max_iters: 25,
+            ..MiniFe::default()
+        }),
+        Box::new(Blackscholes::default()),
+        Box::new(LavaMd {
+            boxes_per_dim: 4,
+            par_per_box: 16,
+            ..LavaMd::default()
+        }),
+        Box::new(KMeans {
+            n_points: 2048,
+            max_iters: 40,
+            ..KMeans::default()
+        }),
+    ]
+}
+
+/// Short commit hash of the tree being benchmarked, so BENCH_serve.json
+/// numbers stay attributable. "unknown" outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn source_label(source: Source) -> String {
+    match source {
+        Source::CacheHit => "cache_hit".into(),
+        Source::Coalesced => "coalesced".into(),
+        Source::Searched { warm_seeds: 0 } => "searched_cold".into(),
+        Source::Searched { warm_seeds } => format!("searched_warm:{warm_seeds}"),
+    }
+}
+
+/// One phase's aggregate: wall time, per-request responses, and the obs
+/// counter deltas accumulated while it ran.
+struct Phase {
+    name: &'static str,
+    seconds: f64,
+    responses: Vec<TuneResponse>,
+    obs: hpac_obs::MetricsSnapshot,
+}
+
+impl Phase {
+    fn requests_per_second(&self) -> f64 {
+        self.responses.len() as f64 / self.seconds
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.obs.workers.iter().map(|w| w.dropped).sum()
+    }
+}
+
+fn run_phase(name: &'static str, traced: bool, f: impl FnOnce() -> Vec<TuneResponse>) -> Phase {
+    // The obs gate stays on for every phase so provenance deltas are always
+    // available; with a sink attached we also drain between phases so one
+    // phase's events cannot wrap the ring buffers.
+    hpac_obs::set_enabled(true);
+    let before = hpac_obs::snapshot();
+    let t = Instant::now();
+    let responses = f();
+    let seconds = t.elapsed().as_secs_f64();
+    let obs = hpac_obs::snapshot().delta_since(&before);
+    if traced {
+        hpac_obs::flush().expect("flush trace sink");
+    }
+    Phase {
+        name,
+        seconds,
+        responses,
+        obs,
+    }
+}
+
+fn main() {
+    hpac_core::env::init_trace_from_env();
+    let traced = hpac_obs::sink_config().is_some();
+    let scale = hpac_bench::scale_from_args();
+    let commit = git_commit();
+    let device = DeviceSpec::v100();
+    let host_cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+
+    let cache = TuningCache::new("target/servebench-cache");
+    cache.clear().expect("clear servebench cache");
+    let service = TuningService::new()
+        .with_cache(cache.clone())
+        .with_tuner(Tuner::new().with_scale(scale));
+    let batch_width = service.batch_width();
+    let apps = suite();
+    let bound = QualityBound::percent(5.0);
+
+    println!(
+        "servebench: {} apps on {}, scale {scale:?}, batch width {batch_width}, \
+         {host_cores}-core host, commit {commit}",
+        apps.len(),
+        device.name
+    );
+
+    // Phase 1: cold — every request searches.
+    let reqs: Vec<TuneRequest> = apps
+        .iter()
+        .map(|b| TuneRequest::new(b.as_ref(), &device, bound))
+        .collect();
+    let cold = run_phase("cold", traced, || service.submit_batch(&reqs));
+    for resp in &cold.responses {
+        assert_eq!(
+            resp.source,
+            Source::Searched { warm_seeds: 0 },
+            "{}: cold phase must search",
+            resp.plan.benchmark
+        );
+        assert!(resp.plan.respects_bound());
+    }
+
+    // Bit-identity: the concurrent front end must return exactly the plans
+    // a serial deprecated-path tune produces.
+    #[allow(deprecated)]
+    {
+        let tuner = Tuner::new().with_scale(scale);
+        for (bench, resp) in apps.iter().zip(&cold.responses) {
+            let serial = tuner.tune(bench.as_ref(), &device, bound);
+            assert_eq!(serial.config, resp.plan.config, "{}", resp.plan.benchmark);
+            assert_eq!(
+                serial.predicted_speedup.to_bits(),
+                resp.plan.predicted_speedup.to_bits(),
+                "{}: speedup diverged between serial and service paths",
+                resp.plan.benchmark
+            );
+            assert_eq!(
+                serial.measured_error_pct.to_bits(),
+                resp.plan.measured_error_pct.to_bits(),
+                "{}: error diverged between serial and service paths",
+                resp.plan.benchmark
+            );
+        }
+    }
+    println!("cold plans bit-identical to serial Tuner::tune: ok");
+
+    // Phase 2: warm — the identical batch is served from the cache.
+    let warm = run_phase("warm", traced, || service.submit_batch(&reqs));
+    for resp in &warm.responses {
+        assert_eq!(
+            resp.source,
+            Source::CacheHit,
+            "{}: warm phase must hit the cache",
+            resp.plan.benchmark
+        );
+        assert_eq!(resp.evals_spent, 0);
+    }
+    let warm_vs_cold = warm.requests_per_second() / cold.requests_per_second();
+    assert!(
+        warm_vs_cold >= 5.0,
+        "warm phase only {warm_vs_cold:.1}x cold requests/sec"
+    );
+    let warm_hit_rate = warm
+        .obs
+        .tuner_cache_hit_rate()
+        .expect("warm phase made cache lookups");
+    assert!(warm_hit_rate > 0.0, "warm hit rate must be > 0");
+
+    // Phase 3: coalesce — FANOUT identical requests for a fresh bound, one
+    // search total.
+    let coalesce_bound = QualityBound::percent(8.0);
+    let subject = &apps[4]; // Blackscholes: ample feasible speedup at this scale
+    let searches_before = service.stats().searches;
+    let dup_reqs: Vec<TuneRequest> = (0..FANOUT)
+        .map(|_| {
+            TuneRequest::new(subject.as_ref(), &device, coalesce_bound).warm_start(WarmStart::Never)
+        })
+        .collect();
+    let coalesce = run_phase("coalesce", traced, || service.submit_batch(&dup_reqs));
+    let coalesce_searches = service.stats().searches - searches_before;
+    assert_eq!(
+        coalesce_searches, 1,
+        "{FANOUT} identical concurrent requests must run exactly one search"
+    );
+    let first = &coalesce.responses[0];
+    for resp in &coalesce.responses {
+        assert_eq!(resp.plan.config, first.plan.config);
+        assert_eq!(
+            resp.plan.predicted_speedup.to_bits(),
+            first.plan.predicted_speedup.to_bits(),
+            "coalesced waiters must receive the leader's exact plan"
+        );
+    }
+
+    // Phase 4: warm-start — a third bound on the subject app seeds from
+    // the cached 5% and 8% frontiers. A 6% bound sits between them, so the
+    // 5% winner is already feasible and the seed fast path short-circuits
+    // the grid walk entirely.
+    let warm_start_bound = QualityBound::percent(6.0);
+    let ws_req = TuneRequest::new(subject.as_ref(), &device, warm_start_bound);
+    let warm_start = run_phase("warm_start", traced, || vec![service.submit(ws_req)]);
+    let ws_resp = &warm_start.responses[0];
+    let ws_seeds = match ws_resp.source {
+        Source::Searched { warm_seeds } => {
+            assert!(warm_seeds > 0, "warm-start phase found no seeds");
+            warm_seeds
+        }
+        other => panic!("expected a search, got {other:?}"),
+    };
+    assert!(ws_resp.plan.respects_bound());
+    let cold_subject_evals = cold.responses[4].evals_spent;
+    assert!(
+        ws_resp.evals_spent < cold_subject_evals,
+        "warm-started search spent {} evals, cold spent {cold_subject_evals}",
+        ws_resp.evals_spent
+    );
+
+    // Zero dropped obs events across every phase.
+    let phases = [&cold, &warm, &coalesce, &warm_start];
+    let dropped: u64 = phases.iter().map(|p| p.dropped_events()).sum();
+    assert_eq!(dropped, 0, "obs rings dropped {dropped} events");
+
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>10} {:>10} {:>9} {:>8}",
+        "phase", "requests", "seconds", "req/s", "searches", "coalesced", "hits", "dropped"
+    );
+    for p in &phases {
+        println!(
+            "{:<12} {:>9} {:>12.4} {:>12.1} {:>10} {:>10} {:>9} {:>8}",
+            p.name,
+            p.responses.len(),
+            p.seconds,
+            p.requests_per_second(),
+            p.obs.counter(CounterId::ServiceRequests)
+                - p.obs.counter(CounterId::ServiceCoalesced)
+                - p.obs.counter(CounterId::TunerCacheHits),
+            p.obs.counter(CounterId::ServiceCoalesced),
+            p.obs.counter(CounterId::TunerCacheHits),
+            p.dropped_events(),
+        );
+    }
+    println!(
+        "warm {:.0}x cold requests/sec; warm-start used {ws_seeds} seeds \
+         ({} evals vs {cold_subject_evals} cold)",
+        warm_vs_cold, ws_resp.evals_spent
+    );
+
+    let stats = service.stats();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"commit\": \"{commit}\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"batch_width\": {batch_width},");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"device\": \"{}\",", device.name);
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"phase\": \"{}\", \"requests\": {}, \"seconds\": {:.6}, \
+             \"requests_per_second\": {:.4}, \"service_requests\": {}, \
+             \"coalesced\": {}, \"cache_hits\": {}, \"warm_starts\": {}, \
+             \"dropped_events\": {}}}{}",
+            p.name,
+            p.responses.len(),
+            p.seconds,
+            p.requests_per_second(),
+            p.obs.counter(CounterId::ServiceRequests),
+            p.obs.counter(CounterId::ServiceCoalesced),
+            p.obs.counter(CounterId::TunerCacheHits),
+            p.obs.counter(CounterId::ServiceWarmStarts),
+            p.dropped_events(),
+            comma
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"requests\": [");
+    let all: Vec<&TuneResponse> = phases.iter().flat_map(|p| p.responses.iter()).collect();
+    for (i, r) in all.iter().enumerate() {
+        let comma = if i + 1 < all.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"bound_pct\": {}, \"source\": \"{}\", \
+             \"evals_spent\": {}, \"wall_ns\": {}, \"speedup\": {:.4}, \
+             \"error_pct\": {:.4}}}{}",
+            r.plan.benchmark,
+            r.plan.bound_pct,
+            source_label(r.source),
+            r.evals_spent,
+            r.wall_ns,
+            r.plan.predicted_speedup,
+            r.plan.measured_error_pct,
+            comma
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"warm_vs_cold_rps\": {warm_vs_cold:.4},");
+    let _ = writeln!(json, "  \"warm_hit_rate\": {warm_hit_rate:.4},");
+    let _ = writeln!(json, "  \"coalesce_fanout\": {FANOUT},");
+    let _ = writeln!(json, "  \"coalesce_searches\": {coalesce_searches},");
+    let _ = writeln!(json, "  \"warm_start_seeds\": {ws_seeds},");
+    let _ = writeln!(json, "  \"bit_identical_to_serial\": true,");
+    let _ = writeln!(json, "  \"dropped_events\": {dropped},");
+    let _ = writeln!(
+        json,
+        "  \"totals\": {{\"requests\": {}, \"cache_hits\": {}, \"coalesced\": {}, \
+         \"searches\": {}, \"warm_starts\": {}}}",
+        stats.requests, stats.cache_hits, stats.coalesced, stats.searches, stats.warm_starts
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    println!("\nobs metrics (cumulative):");
+    print!("{}", hpac_obs::snapshot().render_table());
+    if traced {
+        let cfg = hpac_obs::sink_config().expect("sink installed");
+        hpac_obs::finish().expect("finalize trace sink");
+        println!("wrote trace to {} ({:?})", cfg.path.display(), cfg.format);
+    }
+    cache.clear().expect("clear servebench cache");
+}

@@ -202,7 +202,7 @@ fn bench_executor(
 }
 
 fn main() {
-    hpac_obs::init_from_env();
+    hpac_core::env::init_trace_from_env();
     let traced = hpac_obs::sink_config().is_some();
     let scale = hpac_bench::scale_from_args();
     let filter = app_filter_from_args();

@@ -1,17 +1,18 @@
 //! Quality-constrained autotuning across the full evaluation matrix: all
-//! seven benchmarks × both device specs, via `hpac-tuner`.
+//! seven benchmarks × both device specs, via the `hpac-service` front end.
 //!
 //! Run with: `cargo run --release -p hpac-bench --bin tune`
 //!
-//! For each (benchmark, device) the tuner answers "fastest configuration
+//! For each (benchmark, device) the service answers "fastest configuration
 //! with ≤ 5% error" while evaluating well under 10% of the benchmark's full
-//! Table 2 space, and persists the answer (plan + Pareto frontier) to
-//! `target/tuner-cache/`. A second invocation is served entirely from the
-//! cache — the `source` column flips from `search` to `cache`.
+//! Table 2 space, and persists the answer (plan + Pareto frontier) to the
+//! sharded cache under `target/tuner-cache/`. A second invocation is served
+//! entirely from the cache — the `source` column flips from `search` to
+//! `cache`.
 //!
 //! Flags: `--bound <pct>` changes the error bound; `--fresh` clears the
 //! cache first. `HPAC_TRACE=<path>[:jsonl|chrome]` records the tuner's
-//! search trajectory (spans per tune request and grid, Pareto/cache
+//! search trajectory (spans per service request and grid, Pareto/cache
 //! counters) and prints a metrics summary at the end.
 
 use gpu_sim::DeviceSpec;
@@ -21,7 +22,8 @@ use hpac_apps::{
     leukocyte::Leukocyte, lulesh::Lulesh, minife::MiniFe,
 };
 use hpac_core::metrics::geomean;
-use hpac_tuner::{QualityBound, Tuner, TuningCache};
+use hpac_service::{Source, TuneRequest, TuningService};
+use hpac_tuner::{QualityBound, TuningCache};
 
 /// Laptop-scale configurations of all seven applications (Table 1 order) —
 /// the same sizes the Criterion benches exercise.
@@ -63,8 +65,17 @@ fn suite() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+fn source_label(source: Source) -> &'static str {
+    match source {
+        Source::CacheHit => "cache",
+        Source::Coalesced => "coalesced",
+        Source::Searched { warm_seeds: 0 } => "search",
+        Source::Searched { .. } => "warm",
+    }
+}
+
 fn main() {
-    hpac_obs::init_from_env();
+    hpac_core::env::init_trace_from_env();
     let traced = hpac_obs::sink_config().is_some();
     let args: Vec<String> = std::env::args().collect();
     let bound_pct = args
@@ -79,14 +90,12 @@ fn main() {
             eprintln!("warning: could not clear cache: {e}");
         }
     }
-    let tuner = Tuner::new().with_cache(cache.clone());
+    let service = TuningService::new().with_cache(cache.clone());
     let bound = QualityBound::percent(bound_pct);
 
-    println!("hpac-tuner: fastest configuration with <= {bound_pct}% error");
+    println!("hpac-service: fastest configuration with <= {bound_pct}% error");
     println!("cache: {}\n", cache.dir().display());
 
-    let mut cache_hits = 0usize;
-    let mut searches = 0usize;
     for device in DeviceSpec::evaluation_platforms() {
         println!("== {} ({}) ==", device.name, device.vendor);
         println!(
@@ -95,12 +104,13 @@ fn main() {
         );
         let mut speedups = Vec::new();
         for bench in suite() {
-            let plan = tuner.tune(bench.as_ref(), &device, bound);
+            let resp = service.submit(TuneRequest::new(bench.as_ref(), &device, bound));
             if traced {
                 // Drain per request so a cold full-matrix search cannot
                 // wrap the ring buffers.
                 hpac_obs::flush().expect("flush trace sink");
             }
+            let plan = &resp.plan;
             assert!(
                 plan.respects_bound(),
                 "{} on {} violates the bound",
@@ -108,18 +118,13 @@ fn main() {
                 plan.device
             );
             assert!(
-                plan.from_cache || plan.budget_fraction_used() < 0.10,
+                !resp.source.is_searched() || plan.budget_fraction_used() < 0.10,
                 "{} on {} overspent: {} of {} configs",
                 plan.benchmark,
                 plan.device,
                 plan.evaluations,
                 plan.full_space
             );
-            if plan.from_cache {
-                cache_hits += 1;
-            } else {
-                searches += 1;
-            }
             speedups.push(plan.predicted_speedup);
             println!(
                 "{:<16} {:<9} {:<34} {:>7.2}x {:>7.3} {:>6} {:>6.1}%  {}",
@@ -128,9 +133,9 @@ fn main() {
                 plan.config,
                 plan.predicted_speedup,
                 plan.measured_error_pct,
-                plan.evaluations,
+                resp.evals_spent,
                 plan.budget_fraction_used() * 100.0,
-                if plan.from_cache { "cache" } else { "search" },
+                source_label(resp.source),
             );
         }
         println!(
@@ -138,9 +143,12 @@ fn main() {
             geomean(&speedups)
         );
     }
+    let stats = service.stats();
     println!(
-        "{searches} tuned by search, {cache_hits} served from the persistent cache{}",
-        if cache_hits == 0 {
+        "{} tuned by search, {} served from the persistent cache{}",
+        stats.searches,
+        stats.cache_hits,
+        if stats.cache_hits == 0 {
             " (run again to see every row hit the cache)"
         } else {
             ""

@@ -235,14 +235,10 @@ pub fn parse_hpac_threads(raw: &str) -> Result<Option<usize>, String> {
 
 /// The validated `HPAC_THREADS` environment override. A malformed value
 /// aborts with the parse error — a typo must not silently run sequentially.
+/// Read-validate-abort behavior comes from [`crate::env::strict_var`], the
+/// helper shared by every `HPAC_*` variable.
 pub(crate) fn env_threads() -> Option<usize> {
-    match std::env::var("HPAC_THREADS") {
-        Err(_) => None,
-        Ok(raw) => match parse_hpac_threads(&raw) {
-            Ok(v) => v,
-            Err(msg) => panic!("{msg}"),
-        },
-    }
+    crate::env::strict_var("HPAC_THREADS", parse_hpac_threads)
 }
 
 #[cfg(test)]

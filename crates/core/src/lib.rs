@@ -37,6 +37,7 @@
 //! * [`shared_state`] — AC state sized and placed in block shared memory,
 //!   with launches rejected when the device limit is exceeded.
 
+pub mod env;
 pub mod exec;
 pub mod hierarchy;
 pub mod iact;

@@ -30,10 +30,13 @@ pub enum SpanId {
     TunerTune = 7,
     /// One technique grid searched within a tune request. a = grid index, b = grid size.
     TunerSearchGrid = 8,
+    /// One `TuningService` request, cache lookup through response.
+    /// a = interned app name, b = error bound in basis points.
+    ServiceRequest = 9,
 }
 
 impl SpanId {
-    pub const ALL: [SpanId; 9] = [
+    pub const ALL: [SpanId; 10] = [
         SpanId::EngineBatch,
         SpanId::EngineTask,
         SpanId::KernelWalk,
@@ -43,6 +46,7 @@ impl SpanId {
         SpanId::SweepApp,
         SpanId::TunerTune,
         SpanId::TunerSearchGrid,
+        SpanId::ServiceRequest,
     ];
 
     pub fn name(self) -> &'static str {
@@ -56,6 +60,7 @@ impl SpanId {
             SpanId::SweepApp => "sweep_app",
             SpanId::TunerTune => "tuner_tune",
             SpanId::TunerSearchGrid => "tuner_search_grid",
+            SpanId::ServiceRequest => "service_request",
         }
     }
 
@@ -71,6 +76,7 @@ impl SpanId {
             SpanId::SweepApp => ("app", "configs", true),
             SpanId::TunerTune => ("app", "bound_bp", true),
             SpanId::TunerSearchGrid => ("grid", "size", false),
+            SpanId::ServiceRequest => ("app", "bound_bp", true),
         }
     }
 
@@ -186,9 +192,15 @@ pub enum CounterId {
     ParetoPrunes,
     /// Warnings emitted through `log_warn`.
     LogWarnings,
+    /// `TuningService` requests accepted (all provenances).
+    ServiceRequests,
+    /// Service requests that joined an identical in-flight search.
+    ServiceCoalesced,
+    /// Service searches warm-started from a neighboring bound's frontier.
+    ServiceWarmStarts,
 }
 
-pub const N_COUNTERS: usize = 32;
+pub const N_COUNTERS: usize = 35;
 
 impl CounterId {
     pub const ALL: [CounterId; N_COUNTERS] = [
@@ -224,6 +236,9 @@ impl CounterId {
         CounterId::ParetoRejects,
         CounterId::ParetoPrunes,
         CounterId::LogWarnings,
+        CounterId::ServiceRequests,
+        CounterId::ServiceCoalesced,
+        CounterId::ServiceWarmStarts,
     ];
 
     pub fn name(self) -> &'static str {
@@ -260,6 +275,9 @@ impl CounterId {
             CounterId::ParetoRejects => "pareto_rejects",
             CounterId::ParetoPrunes => "pareto_prunes",
             CounterId::LogWarnings => "log_warnings",
+            CounterId::ServiceRequests => "service_requests",
+            CounterId::ServiceCoalesced => "service_coalesced",
+            CounterId::ServiceWarmStarts => "service_warm_starts",
         }
     }
 }

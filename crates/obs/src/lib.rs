@@ -15,11 +15,14 @@
 //!   [`log_warn`], which lands in the trace *and* on stderr; ad-hoc
 //!   `eprintln!`/`println!` in library code is a CI failure.
 //!
-//! Activation: bins call [`init_from_env`], which reads
-//! `HPAC_TRACE=<path>[:jsonl|chrome]` (strictly validated, like
-//! `HPAC_THREADS`) and, when set, installs a sink and flips the gate. Tests
-//! and embedders can flip it directly with [`set_enabled`] and inspect
-//! metrics in-process via [`snapshot`] without any sink.
+//! Activation: bins call `hpac_core::env::init_trace_from_env`, which reads
+//! `HPAC_TRACE=<path>[:jsonl|chrome]` through the stack's one strict
+//! env-var helper and, when set, calls [`install_sink`] and flips the gate
+//! via [`set_enabled`]. This crate owns only the pure parser
+//! ([`parse_hpac_trace`]); the read-validate-abort glue lives in
+//! `hpac-core` with every other `HPAC_*` variable. Tests and embedders can
+//! flip the gate directly with [`set_enabled`] and inspect metrics
+//! in-process via [`snapshot`] without any sink.
 
 mod event;
 mod ring;
@@ -58,28 +61,6 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// Nanoseconds since the process trace epoch (first use).
 pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
-}
-
-/// Read `HPAC_TRACE` and, when set, install the sink and enable tracing.
-/// Precedence and strictness follow `HPAC_THREADS`: unset or empty means
-/// off; a malformed value or an unwritable path is a hard panic (a bench
-/// run that silently drops its trace is worse than one that fails fast).
-pub fn init_from_env() {
-    let raw = match std::env::var("HPAC_TRACE") {
-        Ok(v) => v,
-        Err(std::env::VarError::NotPresent) => return,
-        Err(e) => panic!("HPAC_TRACE is not valid unicode: {e}"),
-    };
-    match parse_hpac_trace(&raw) {
-        Ok(None) => {}
-        Ok(Some(cfg)) => {
-            let path = cfg.path.clone();
-            install_sink(cfg)
-                .unwrap_or_else(|e| panic!("HPAC_TRACE: cannot open {}: {e}", path.display()));
-            set_enabled(true);
-        }
-        Err(msg) => panic!("invalid HPAC_TRACE value {raw:?}: {msg}"),
-    }
 }
 
 // ---------------------------------------------------------------------------

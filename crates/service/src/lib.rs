@@ -1,0 +1,35 @@
+//! # hpac-service — tuning as a service
+//!
+//! The production front end over `hpac-tuner`: many callers, many threads,
+//! one process-wide answer per question. Where `hpac-tuner` answers a
+//! single "fastest configuration under X% error" query, this crate serves
+//! *streams* of such queries cheaply:
+//!
+//! * a typed request/response API — [`TuneRequest`] in (benchmark, device,
+//!   [`QualityBound`](hpac_tuner::QualityBound), budget, warm-start
+//!   policy), [`TuneResponse`] out (plan + provenance: [`Source`],
+//!   evaluations spent, wall time);
+//! * a sharded, lock-striped persistent cache
+//!   ([`TuningCache`](hpac_tuner::TuningCache)) safe for concurrent
+//!   readers and writers across processes;
+//! * request coalescing — concurrent identical requests run exactly one
+//!   search, and every waiter gets the same plan;
+//! * warm starts — a new bound seeds its search from the cached Pareto
+//!   frontiers of neighboring bounds on the same (benchmark, device);
+//! * engine admission — batches run on the process-wide
+//!   [`ExecEngine`](hpac_core::exec::ExecEngine) pool, throttled by
+//!   `HPAC_SERVICE_QUEUE`.
+//!
+//! ```ignore
+//! let svc = TuningService::new()
+//!     .with_cache(TuningCache::new(TuningCache::default_dir()));
+//! let resp = svc.submit(TuneRequest::new(&bench, &device, QualityBound::percent(5.0)));
+//! println!("{:?} via {:?} in {} ns", resp.plan.config, resp.source, resp.wall_ns);
+//! let report = resp.plan.execute(&bench, &device)?;
+//! ```
+
+pub mod request;
+pub mod service;
+
+pub use request::{Source, TuneRequest, TuneResponse, WarmStart};
+pub use service::{ServiceStats, TuningService};

@@ -1,0 +1,587 @@
+//! The concurrent tuning front end.
+//!
+//! [`TuningService`] is the one door to the tuner for programs that issue
+//! many tuning requests — possibly at once, possibly identical. Each
+//! [`submit`](TuningService::submit) resolves through three layers, cheapest
+//! first:
+//!
+//! 1. **Cache** — a valid entry in the sharded [`TuningCache`] answers
+//!    immediately ([`Source::CacheHit`], zero evaluations).
+//! 2. **Coalescing** — if an identical request (same benchmark, device
+//!    fingerprint, and bound) is already searching, this one waits for the
+//!    leader's plan instead of searching again ([`Source::Coalesced`]).
+//!    With a cache attached, N concurrent identical requests run *exactly
+//!    one* search: the leader stores the entry before retiring its
+//!    in-flight slot, and a would-be second leader re-checks the cache
+//!    right after claiming the slot, so it finds the entry instead of
+//!    searching.
+//! 3. **Search** — the leader runs [`Tuner::search_plan`], optionally
+//!    warm-started from the re-executable Pareto frontiers of cached
+//!    *neighboring bounds* on the same (benchmark, device)
+//!    ([`Source::Searched`]).
+//!
+//! Batches go through [`submit_batch`](TuningService::submit_batch), which
+//! admits requests into the process-wide
+//! [`ExecEngine`](hpac_core::exec::ExecEngine) worker pool —
+//! `HPAC_SERVICE_QUEUE` caps how many are in flight at once.
+
+use crate::request::{Source, TuneRequest, TuneResponse, WarmStart};
+use hpac_core::exec::engine;
+use hpac_harness::space::SweepConfig;
+use hpac_tuner::{device_fingerprint, TunedPlan, Tuner, TuningCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Identity of a coalescable request: same benchmark, same device (by
+/// fingerprint, not just name), same bound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    benchmark: String,
+    device: String,
+    fingerprint: u64,
+    bound_bp: i64,
+}
+
+impl Key {
+    fn new(req: &TuneRequest, fingerprint: u64) -> Self {
+        Key {
+            benchmark: req.bench().name().to_string(),
+            device: req.device().name.to_string(),
+            fingerprint,
+            bound_bp: (req.bound().max_error_pct * 100.0).round() as i64,
+        }
+    }
+}
+
+/// What waiters on an in-flight search eventually observe.
+#[derive(Debug)]
+enum WaitState {
+    Pending,
+    Done(Box<TunedPlan>),
+    /// The leader died without publishing (panicked); waiters retry.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    state: Mutex<WaitState>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            state: Mutex::new(WaitState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the leader publishes; `None` means it was abandoned.
+    fn wait(&self) -> Option<TunedPlan> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                WaitState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                WaitState::Done(plan) => return Some((**plan).clone()),
+                WaitState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn publish(&self, outcome: WaitState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    searches: AtomicU64,
+    warm_starts: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service's request accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests answered from the persistent cache.
+    pub cache_hits: u64,
+    /// Requests that waited on an identical in-flight search.
+    pub coalesced: u64,
+    /// Searches actually run (cold or warm-started).
+    pub searches: u64,
+    /// Searches that evaluated at least one cached neighbor seed.
+    pub warm_starts: u64,
+}
+
+/// The concurrent tuning front end. Cheap to share: all methods take
+/// `&self`, and the service is `Sync` — one instance serves every thread.
+#[derive(Debug)]
+pub struct TuningService {
+    tuner: Tuner,
+    cache: Option<TuningCache>,
+    batch_width: Option<usize>,
+    inflight: Mutex<HashMap<Key, Arc<InFlight>>>,
+    stats: StatsInner,
+}
+
+impl Default for TuningService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuningService {
+    /// A service with the default tuner policy and no persistent cache.
+    /// Without a cache, coalescing still works for *overlapping* requests,
+    /// but completed answers are not remembered.
+    pub fn new() -> Self {
+        TuningService {
+            tuner: Tuner::new(),
+            cache: None,
+            batch_width: env_service_queue(),
+            inflight: Mutex::new(HashMap::new()),
+            stats: StatsInner::default(),
+        }
+    }
+
+    /// Attach a persistent sharded cache (answers survive the process, and
+    /// concurrent identical requests are guaranteed exactly one search).
+    pub fn with_cache(mut self, cache: TuningCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Replace the tuner policy (strategy, scale, default budget). Any
+    /// cache attached to the tuner itself is ignored — the service owns
+    /// caching.
+    pub fn with_tuner(mut self, mut tuner: Tuner) -> Self {
+        tuner.cache = None;
+        self.tuner = tuner;
+        self
+    }
+
+    /// Cap how many batch requests are admitted to the engine at once,
+    /// overriding `HPAC_SERVICE_QUEUE`.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        self.batch_width = Some(width);
+        self
+    }
+
+    pub fn cache(&self) -> Option<&TuningCache> {
+        self.cache.as_ref()
+    }
+
+    /// The width [`submit_batch`](TuningService::submit_batch) admits at:
+    /// the builder override, else `HPAC_SERVICE_QUEUE`, else the engine
+    /// default.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width.unwrap_or_else(|| engine().default_width())
+    }
+
+    /// Request accounting so far.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            searches: self.stats.searches.load(Ordering::Relaxed),
+            warm_starts: self.stats.warm_starts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resolve one request: cache, then coalesce, then search.
+    pub fn submit(&self, req: TuneRequest) -> TuneResponse {
+        let t0 = Instant::now();
+        let fingerprint = device_fingerprint(req.device());
+        let key = Key::new(&req, fingerprint);
+        let _span = hpac_obs::span_named(
+            hpac_obs::SpanId::ServiceRequest,
+            &key.benchmark,
+            key.bound_bp as u64,
+        );
+        hpac_obs::inc(hpac_obs::CounterId::ServiceRequests);
+        hpac_obs::inc(hpac_obs::CounterId::TunerRequests);
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        let inflight = loop {
+            if let Some(plan) = self.cache_lookup(&key) {
+                return self.respond(plan, Source::CacheHit, 0, t0);
+            }
+            match self.claim_or_join(&key) {
+                // We are the leader; go search.
+                None => break self.claimed(&key),
+                Some(existing) => {
+                    if let Some(plan) = existing.wait() {
+                        hpac_obs::inc(hpac_obs::CounterId::ServiceCoalesced);
+                        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return self.respond(plan, Source::Coalesced, 0, t0);
+                    }
+                    // Leader abandoned (panicked): start over.
+                }
+            }
+        };
+
+        // Second-leader guard: between our cache miss and our claim, a
+        // previous leader may have published and retired. It stores to the
+        // cache *before* retiring, so re-checking the cache here is enough
+        // to guarantee exactly one search per key when a cache is attached.
+        if let Some(plan) = self.cache_lookup(&key) {
+            self.retire(&key, &inflight, WaitState::Done(Box::new(plan.clone())));
+            return self.respond(plan, Source::CacheHit, 0, t0);
+        }
+        if self.cache.is_some() {
+            hpac_obs::inc(hpac_obs::CounterId::TunerCacheMisses);
+        }
+
+        // Leader path. The guard retires the in-flight slot as Abandoned if
+        // the search panics, so waiters never deadlock.
+        let guard = RetireGuard {
+            svc: self,
+            key: &key,
+            inflight: &inflight,
+            done: false,
+        };
+        let seeds = match req.warm_start_policy() {
+            WarmStart::Auto => self.gather_seeds(&key, req.bound().max_error_pct),
+            WarmStart::Never => Vec::new(),
+        };
+        let tuner = self.request_tuner(&req);
+        let plan = tuner.search_plan(req.bench(), req.device(), req.bound(), &seeds);
+        self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        if !seeds.is_empty() {
+            hpac_obs::inc(hpac_obs::CounterId::ServiceWarmStarts);
+            self.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Store BEFORE retiring the in-flight slot (see the second-leader
+        // guard above — this ordering is what makes "exactly one search"
+        // airtight).
+        if let Some(cache) = &self.cache {
+            if let Err(e) = cache.store(&plan, fingerprint) {
+                hpac_obs::log_warn(&format!("tuning cache write failed: {e}"));
+            }
+        }
+        guard.retire(WaitState::Done(Box::new(plan.clone())));
+        self.respond(
+            plan,
+            Source::Searched {
+                warm_seeds: seeds.len(),
+            },
+            0,
+            t0,
+        )
+    }
+
+    /// Resolve a batch of requests concurrently through the engine's worker
+    /// pool, at most [`batch_width`](TuningService::batch_width) in flight
+    /// at once. Responses come back in request order.
+    pub fn submit_batch(&self, reqs: &[TuneRequest]) -> Vec<TuneResponse> {
+        let width = self.batch_width().max(1);
+        engine().run(reqs.len(), width, |i| self.submit(reqs[i]))
+    }
+
+    fn cache_lookup(&self, key: &Key) -> Option<TunedPlan> {
+        let plan = self.cache.as_ref()?.load(
+            &key.benchmark,
+            &key.device,
+            key.bound_bp as f64 / 100.0,
+            key.fingerprint,
+        )?;
+        hpac_obs::inc(hpac_obs::CounterId::TunerCacheHits);
+        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(plan)
+    }
+
+    /// Claim the key's in-flight slot (returning `None` = we lead) or join
+    /// an existing one.
+    fn claim_or_join(&self, key: &Key) -> Option<Arc<InFlight>> {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(key) {
+            Some(existing) => Some(existing.clone()),
+            None => {
+                map.insert(key.clone(), Arc::new(InFlight::new()));
+                None
+            }
+        }
+    }
+
+    fn claimed(&self, key: &Key) -> Arc<InFlight> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .expect("leader's in-flight slot exists until it retires")
+            .clone()
+    }
+
+    /// Publish an outcome to waiters and remove the in-flight slot.
+    fn retire(&self, key: &Key, inflight: &Arc<InFlight>, outcome: WaitState) {
+        inflight.publish(outcome);
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+    }
+
+    /// Warm-start seeds: every re-executable frontier point of every cached
+    /// bound for this (benchmark, device), nearest bound first, deduplicated
+    /// by configuration label.
+    fn gather_seeds(&self, key: &Key, bound_pct: f64) -> Vec<SweepConfig> {
+        let Some(cache) = &self.cache else {
+            return Vec::new();
+        };
+        let mut neighbors = cache.neighbors(&key.benchmark, &key.device, key.fingerprint);
+        neighbors.sort_by(|a, b| {
+            (a.bound_pct - bound_pct)
+                .abs()
+                .total_cmp(&(b.bound_pct - bound_pct).abs())
+        });
+        let mut seen = std::collections::HashSet::new();
+        let mut seeds = Vec::new();
+        for plan in &neighbors {
+            for point in plan.frontier.points() {
+                let Some(cfg) = point.to_config() else {
+                    continue;
+                };
+                if seen.insert(cfg.label.clone()) {
+                    seeds.push(cfg);
+                }
+            }
+        }
+        seeds
+    }
+
+    /// The per-request tuner: the service policy with any per-request
+    /// budget override, never cache-bearing (the service owns the cache).
+    fn request_tuner(&self, req: &TuneRequest) -> Tuner {
+        Tuner {
+            strategy: self.tuner.strategy.clone(),
+            scale: self.tuner.scale,
+            budget_fraction: req
+                .budget_fraction_override()
+                .unwrap_or(self.tuner.budget_fraction),
+            cache: None,
+        }
+    }
+
+    fn respond(&self, plan: TunedPlan, source: Source, evals: usize, t0: Instant) -> TuneResponse {
+        let evals_spent = match source {
+            Source::Searched { .. } => plan.evaluations,
+            _ => evals,
+        };
+        TuneResponse {
+            plan,
+            source,
+            evals_spent,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Retires the leader's in-flight slot exactly once — as `Abandoned` if the
+/// search unwinds, so waiters wake up and retry instead of deadlocking.
+struct RetireGuard<'a> {
+    svc: &'a TuningService,
+    key: &'a Key,
+    inflight: &'a Arc<InFlight>,
+    done: bool,
+}
+
+impl RetireGuard<'_> {
+    fn retire(mut self, outcome: WaitState) {
+        self.done = true;
+        self.svc.retire(self.key, self.inflight, outcome);
+    }
+}
+
+impl Drop for RetireGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.svc
+                .retire(self.key, self.inflight, WaitState::Abandoned);
+        }
+    }
+}
+
+/// `HPAC_SERVICE_QUEUE`: how many batch requests the service admits to the
+/// engine at once. Unset or `0` = the engine default width; anything else
+/// must parse as a positive integer or the process aborts (the stack-wide
+/// strict env contract).
+fn env_service_queue() -> Option<usize> {
+    hpac_core::env::strict_var("HPAC_SERVICE_QUEUE", |raw| {
+        if raw.is_empty() {
+            return Ok(None);
+        }
+        match raw.parse::<usize>() {
+            Ok(0) => Ok(None),
+            Ok(n) => Ok(Some(n)),
+            Err(e) => Err(format!("expected a non-negative integer: {e}")),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use hpac_apps::blackscholes::Blackscholes;
+    use hpac_harness::space::Scale;
+    use hpac_tuner::QualityBound;
+
+    fn quick_service() -> TuningService {
+        TuningService::new().with_tuner(Tuner::new().with_scale(Scale::Quick))
+    }
+
+    fn temp_cache(tag: &str) -> TuningCache {
+        let cache = TuningCache::new(std::env::temp_dir().join(format!("hpac_service_{tag}")));
+        let _ = cache.clear();
+        cache
+    }
+
+    #[test]
+    fn search_then_cache_hit() {
+        let cache = temp_cache("hit");
+        let svc = quick_service().with_cache(cache.clone());
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        let bound = QualityBound::percent(5.0);
+
+        let first = svc.submit(TuneRequest::new(&bench, &device, bound));
+        assert_eq!(first.source, Source::Searched { warm_seeds: 0 });
+        assert!(first.evals_spent > 0);
+
+        let second = svc.submit(TuneRequest::new(&bench, &device, bound));
+        assert_eq!(second.source, Source::CacheHit);
+        assert_eq!(second.evals_spent, 0);
+        assert_eq!(second.plan.config, first.plan.config);
+        assert!(second.plan.from_cache);
+
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.searches, 1);
+        assert_eq!(stats.cache_hits, 1);
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn uncached_service_still_answers() {
+        let svc = quick_service();
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        let resp = svc.submit(TuneRequest::new(
+            &bench,
+            &device,
+            QualityBound::percent(5.0),
+        ));
+        assert!(resp.source.is_searched());
+        assert!(resp.plan.respects_bound());
+    }
+
+    #[test]
+    fn warm_start_from_neighboring_bound() {
+        let cache = temp_cache("warm");
+        let svc = quick_service().with_cache(cache.clone());
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+
+        let cold = svc.submit(TuneRequest::new(
+            &bench,
+            &device,
+            QualityBound::percent(10.0),
+        ));
+        assert_eq!(cold.source, Source::Searched { warm_seeds: 0 });
+
+        // A different bound on the same (benchmark, device): seeded from
+        // the cached neighbor's frontier.
+        let warm = svc.submit(TuneRequest::new(
+            &bench,
+            &device,
+            QualityBound::percent(5.0),
+        ));
+        match warm.source {
+            Source::Searched { warm_seeds } => assert!(warm_seeds > 0),
+            other => panic!("expected a warm search, got {other:?}"),
+        }
+        assert!(warm.plan.respects_bound());
+        assert_eq!(svc.stats().warm_starts, 1);
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn warm_start_never_forces_cold_search() {
+        let cache = temp_cache("cold_policy");
+        let svc = quick_service().with_cache(cache.clone());
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        svc.submit(TuneRequest::new(
+            &bench,
+            &device,
+            QualityBound::percent(10.0),
+        ));
+        let resp = svc.submit(
+            TuneRequest::new(&bench, &device, QualityBound::percent(5.0))
+                .warm_start(WarmStart::Never),
+        );
+        assert_eq!(resp.source, Source::Searched { warm_seeds: 0 });
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn batch_answers_in_request_order() {
+        let cache = temp_cache("batch");
+        let svc = quick_service().with_cache(cache.clone());
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        let bounds = [5.0, 8.0, 5.0, 8.0, 5.0];
+        let reqs: Vec<TuneRequest> = bounds
+            .iter()
+            .map(|b| TuneRequest::new(&bench, &device, QualityBound::percent(*b)))
+            .collect();
+        let resps = svc.submit_batch(&reqs);
+        assert_eq!(resps.len(), bounds.len());
+        for (resp, bound) in resps.iter().zip(bounds) {
+            assert_eq!(resp.plan.bound_pct, bound);
+            assert!(resp.plan.respects_bound());
+        }
+        // 5 requests over 2 distinct keys: exactly 2 searches ran; the
+        // duplicates were coalesced or served from cache.
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.searches, 2);
+        assert_eq!(stats.cache_hits + stats.coalesced, 3);
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn per_request_budget_override_caps_evals() {
+        let svc = quick_service();
+        let bench = Blackscholes::default();
+        let device = DeviceSpec::v100();
+        let bound = QualityBound::percent(5.0);
+        let tiny = svc.submit(
+            TuneRequest::new(&bench, &device, bound)
+                .budget_fraction(0.001)
+                .warm_start(WarmStart::Never),
+        );
+        let full =
+            svc.submit(TuneRequest::new(&bench, &device, bound).warm_start(WarmStart::Never));
+        assert!(tiny.evals_spent <= full.evals_spent);
+        assert!(tiny.evals_spent <= (tiny.plan.full_space as f64 * 0.001).max(1.0) as usize);
+    }
+
+    #[test]
+    fn batch_width_override_wins() {
+        let svc = quick_service().with_batch_width(3);
+        assert_eq!(svc.batch_width(), 3);
+    }
+}

@@ -1,4 +1,5 @@
-//! The persistent tuning cache.
+//! The persistent tuning cache: a sharded, lock-striped store safe for
+//! concurrent readers and writers.
 //!
 //! A production tuner is asked the same question many times: "fastest
 //! configuration for benchmark B on device D under bound X". The answer
@@ -8,6 +9,24 @@
 //! fingerprint of the device spec it was tuned against; loading with a
 //! different fingerprint invalidates (deletes) the entry instead of serving
 //! a stale plan.
+//!
+//! # Concurrency
+//!
+//! The store is built for many simultaneous tuning requests:
+//!
+//! * **Sharding** — entries hash (by benchmark, device) into
+//!   [`N_SHARDS`] subdirectories, so directory scans for one key's
+//!   neighbors ([`TuningCache::neighbors`]) touch one small shard, not the
+//!   whole cache.
+//! * **Lock striping** — in-process writers to the same key serialize on
+//!   one of [`N_STRIPES`] process-wide stripe locks indexed by the key
+//!   hash; writers to different keys proceed in parallel.
+//! * **Atomic write-replace** — [`TuningCache::store`] writes the entry to
+//!   a uniquely-named temp file in the same directory and `rename`s it
+//!   over the final path. Rename is atomic on POSIX, so a reader opening
+//!   the final path always sees a *complete* entry (old or new), never a
+//!   torn write — and a process killed mid-store leaves only `.tmp` debris
+//!   that no reader ever opens.
 
 use crate::json::Json;
 use crate::pareto::{ParetoFrontier, ParetoPoint};
@@ -19,12 +38,30 @@ use hpac_core::region::{ApproxRegion, Technique};
 use hpac_core::HierarchyLevel;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Format version; bump to invalidate every cached entry on schema change.
-const CACHE_VERSION: f64 = 1.0;
+/// v2: sharded layout, frontier points carry their region + launch shape.
+const CACHE_VERSION: f64 = 2.0;
+
+/// Shard subdirectories under the cache root.
+pub const N_SHARDS: u64 = 16;
+
+/// Process-wide stripe locks serializing same-key writers.
+const N_STRIPES: usize = 16;
+
+#[allow(clippy::declare_interior_mutable_const)] // repeat-initializer only
+const STRIPE_INIT: Mutex<()> = Mutex::new(());
+static STRIPES: [Mutex<()>; N_STRIPES] = [STRIPE_INIT; N_STRIPES];
+
+/// Uniquifier for temp file names within the process (the pid distinguishes
+/// processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// FNV-1a over a byte stream — the crate's one hash, shared by the device
-/// fingerprint and the tuner's deterministic search seeds.
+/// fingerprint, the shard/stripe indices, and the tuner's deterministic
+/// search seeds.
 pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for b in bytes {
@@ -66,8 +103,15 @@ pub fn device_fingerprint(spec: &DeviceSpec) -> u64 {
     fnv1a(canonical.bytes())
 }
 
-/// A directory of cached tuning results, one JSON file per
-/// (benchmark, device, bound) key.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// A sharded directory of cached tuning results, one JSON file per
+/// (benchmark, device, bound) key, grouped into [`N_SHARDS`] subdirectories
+/// by (benchmark, device) hash.
 #[derive(Debug, Clone)]
 pub struct TuningCache {
     dir: PathBuf,
@@ -84,38 +128,64 @@ impl TuningCache {
     /// The default lives under `target/` (already the home of generated
     /// artifacts like `target/figures`), which means `cargo clean` wipes
     /// it; point `HPAC_TUNER_CACHE` at a durable directory to keep tuning
-    /// results across clean builds.
+    /// results across clean builds. Validation follows the stack-wide
+    /// [`hpac_core::env::strict_var`] contract: empty means unset, a
+    /// non-unicode value aborts.
     pub fn default_dir() -> PathBuf {
-        match std::env::var_os("HPAC_TUNER_CACHE") {
-            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
-            _ => PathBuf::from("target/tuner-cache"),
-        }
+        hpac_core::env::strict_var("HPAC_TUNER_CACHE", hpac_core::env::parse_dir)
+            .unwrap_or_else(|| PathBuf::from("target/tuner-cache"))
     }
 
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
-    fn key_path(&self, benchmark: &str, device: &str, bound_pct: f64) -> PathBuf {
-        let sanitize = |s: &str| -> String {
-            s.chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect()
-        };
+    /// Shard/stripe hash of a (benchmark, device) key. Bound-independent on
+    /// purpose: every bound for one (benchmark, device) lands in the same
+    /// shard, so neighbor enumeration is a single small directory scan.
+    fn key_hash(benchmark: &str, device: &str) -> u64 {
+        fnv1a(benchmark.bytes().chain("|".bytes()).chain(device.bytes()))
+    }
+
+    fn shard_dir(&self, benchmark: &str, device: &str) -> PathBuf {
+        self.dir.join(format!(
+            "{:02x}",
+            Self::key_hash(benchmark, device) % N_SHARDS
+        ))
+    }
+
+    fn stripe(benchmark: &str, device: &str) -> MutexGuard<'static, ()> {
+        let idx = (Self::key_hash(benchmark, device) as usize) % N_STRIPES;
+        STRIPES[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn entry_name(benchmark: &str, device: &str, bound_pct: f64) -> String {
         // Bound in basis points keeps the file name integral and unique for
         // any bound expressed to 0.01%.
         let bound_bp = (bound_pct * 100.0).round() as i64;
-        self.dir.join(format!(
+        format!(
             "{}__{}__{}bp.json",
             sanitize(benchmark),
             sanitize(device),
             bound_bp
-        ))
+        )
+    }
+
+    fn key_path(&self, benchmark: &str, device: &str, bound_pct: f64) -> PathBuf {
+        self.shard_dir(benchmark, device)
+            .join(Self::entry_name(benchmark, device, bound_pct))
     }
 
     /// Load the cached plan for a key, verifying the device fingerprint.
     /// A missing entry returns `None`; a stale or unreadable entry is
     /// deleted and also returns `None`.
+    ///
+    /// Reads never take a stripe lock: the file at the final path is always
+    /// a complete entry (writers only `rename` onto it), and an open file
+    /// handle keeps reading its inode even if a writer replaces the path
+    /// mid-read. Only the invalidation *delete* serializes on the stripe,
+    /// so it cannot race a concurrent write-replace and delete a fresh
+    /// entry.
     pub fn load(
         &self,
         benchmark: &str,
@@ -135,18 +205,78 @@ impl TuningCache {
             }
             None => {
                 // Stale fingerprint, version bump, or corrupt entry.
+                let _g = Self::stripe(benchmark, device);
                 let _ = std::fs::remove_file(&path);
                 None
             }
         }
     }
 
-    /// Persist a plan under its (benchmark, device, bound) key.
+    /// Persist a plan under its (benchmark, device, bound) key, atomically:
+    /// the entry is written to a uniquely-named `.tmp` file in the shard
+    /// directory and renamed over the final path under the key's stripe
+    /// lock. A crash mid-write leaves only temp debris; the final path
+    /// never holds a partial entry.
     pub fn store(&self, plan: &TunedPlan, fingerprint: u64) -> io::Result<PathBuf> {
-        std::fs::create_dir_all(&self.dir)?;
+        let shard = self.shard_dir(&plan.benchmark, &plan.device);
+        std::fs::create_dir_all(&shard)?;
         let path = self.key_path(&plan.benchmark, &plan.device, plan.bound_pct);
-        std::fs::write(&path, plan_to_json(plan, fingerprint).render())?;
+        let tmp = shard.join(format!(
+            "{}.{}.{}.tmp",
+            Self::entry_name(&plan.benchmark, &plan.device, plan.bound_pct),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, plan_to_json(plan, fingerprint).render())?;
+        {
+            let _g = Self::stripe(&plan.benchmark, &plan.device);
+            std::fs::rename(&tmp, &path)?;
+        }
         Ok(path)
+    }
+
+    /// Every valid cached plan for (benchmark, device) — any bound — in
+    /// ascending bound order. This is the warm-start source: a new bound's
+    /// search seeds from the re-executable Pareto frontiers of its
+    /// neighbors instead of searching cold. Entries that fail the
+    /// fingerprint or version check are skipped (and deleted, as in
+    /// [`TuningCache::load`]); `.tmp` debris is ignored.
+    pub fn neighbors(&self, benchmark: &str, device: &str, fingerprint: u64) -> Vec<TunedPlan> {
+        let shard = self.shard_dir(benchmark, device);
+        let prefix = format!("{}__{}__", sanitize(benchmark), sanitize(device));
+        let mut plans: Vec<TunedPlan> = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&shard) else {
+            return plans;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(".json") {
+                continue;
+            }
+            let path = entry.path();
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            match Json::parse(&text)
+                .ok()
+                .and_then(|v| plan_from_json(&v, fingerprint))
+            {
+                // Sanitization can alias names ("a b" and "a_b"); the
+                // entry's own strings are authoritative.
+                Some(mut plan) if plan.benchmark == benchmark && plan.device == device => {
+                    plan.from_cache = true;
+                    plans.push(plan);
+                }
+                Some(_) => {}
+                None => {
+                    let _g = Self::stripe(benchmark, device);
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        plans.sort_by(|a, b| a.bound_pct.total_cmp(&b.bound_pct));
+        plans
     }
 
     /// Remove every cached entry.
@@ -284,6 +414,11 @@ fn frontier_to_json(frontier: &ParetoFrontier) -> Json {
                         "items_per_thread".into(),
                         Json::num(p.items_per_thread as f64),
                     ),
+                    (
+                        "region".into(),
+                        p.region.as_ref().map_or(Json::Null, region_to_json),
+                    ),
+                    ("lp".into(), p.lp.as_ref().map_or(Json::Null, lp_to_json)),
                 ])
             })
             .collect(),
@@ -293,12 +428,22 @@ fn frontier_to_json(frontier: &ParetoFrontier) -> Json {
 fn frontier_from_json(v: &Json) -> Option<ParetoFrontier> {
     let mut frontier = ParetoFrontier::new();
     for item in v.as_arr()? {
+        let region = match item.get("region")? {
+            Json::Null => None,
+            r => Some(region_from_json(r)?),
+        };
+        let lp = match item.get("lp")? {
+            Json::Null => None,
+            l => Some(lp_from_json(l)?),
+        };
         frontier.insert(ParetoPoint {
             speedup: item.get("speedup")?.as_f64()?,
             error_pct: item.get("error_pct")?.as_f64()?,
             technique: item.get("technique")?.as_str()?.to_string(),
             config: item.get("config")?.as_str()?.to_string(),
             items_per_thread: item.get("items_per_thread")?.as_usize()?,
+            region,
+            lp,
         });
     }
     Some(frontier)
@@ -378,6 +523,11 @@ mod tests {
     use super::*;
 
     fn sample_plan() -> TunedPlan {
+        sample_plan_at(5.0)
+    }
+
+    fn sample_plan_at(bound_pct: f64) -> TunedPlan {
+        let taf_region = ApproxRegion::memo_out(2, 32, 0.9).level(HierarchyLevel::Warp);
         let mut frontier = ParetoFrontier::new();
         frontier.insert(ParetoPoint {
             speedup: 1.4,
@@ -385,6 +535,8 @@ mod tests {
             technique: "TAF".into(),
             config: "h=2 p=32 thr=0.9 lvl=warp ipt=16".into(),
             items_per_thread: 16,
+            region: Some(taf_region),
+            lp: Some(LaunchParams::new(16, 256)),
         });
         frontier.insert(ParetoPoint {
             speedup: 2.1,
@@ -392,12 +544,14 @@ mod tests {
             technique: "Perfo".into(),
             config: "large:8 ipt=16".into(),
             items_per_thread: 16,
+            region: Some(ApproxRegion::perfo(PerfoKind::Large { m: 8 })),
+            lp: Some(LaunchParams::new(16, 256)),
         });
         TunedPlan {
             benchmark: "Blackscholes".into(),
             device: "V100".into(),
-            bound_pct: 5.0,
-            region: Some(ApproxRegion::memo_out(2, 32, 0.9).level(HierarchyLevel::Warp)),
+            bound_pct,
+            region: Some(taf_region),
             lp: LaunchParams::new(16, 256),
             technique: "TAF".into(),
             config: "h=2 p=32 thr=0.9 lvl=warp ipt=16".into(),
@@ -429,6 +583,51 @@ mod tests {
         assert_eq!(loaded.evaluations, plan.evaluations);
         assert_eq!(loaded.frontier.len(), plan.frontier.len());
         assert_eq!(loaded.predicted_speedup, plan.predicted_speedup);
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn frontier_points_roundtrip_reexecutable() {
+        let cache = temp_cache("reexec");
+        let _ = cache.clear();
+        let plan = sample_plan();
+        cache.store(&plan, 42).unwrap();
+        let loaded = cache.load("Blackscholes", "V100", 5.0, 42).unwrap();
+        for (orig, back) in plan.frontier.points().iter().zip(loaded.frontier.points()) {
+            assert_eq!(orig.region, back.region);
+            assert_eq!(orig.lp, back.lp);
+            let cfg = back.to_config().expect("search points carry configs");
+            assert_eq!(cfg.label, back.config);
+            assert_eq!(Some(cfg.region), back.region);
+        }
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn entries_land_in_shard_subdirectories() {
+        let cache = temp_cache("shards");
+        let _ = cache.clear();
+        let path = cache.store(&sample_plan(), 42).unwrap();
+        let shard = path.parent().unwrap();
+        assert_eq!(shard.parent().unwrap(), cache.dir());
+        let shard_name = shard.file_name().unwrap().to_str().unwrap();
+        assert_eq!(shard_name.len(), 2, "two-hex-digit shard dir: {shard_name}");
+        assert!(u64::from_str_radix(shard_name, 16).unwrap() < N_SHARDS);
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn store_leaves_no_tmp_files_on_success() {
+        let cache = temp_cache("tmpclean");
+        let _ = cache.clear();
+        let path = cache.store(&sample_plan(), 42).unwrap();
+        let shard = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(shard)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp debris after clean store");
         cache.clear().unwrap();
     }
 
@@ -471,6 +670,65 @@ mod tests {
         assert!(cache.load("Blackscholes", "V100", 1.0, 42).is_none());
         assert!(cache.load("Blackscholes", "MI250X", 5.0, 42).is_none());
         assert!(cache.load("Blackscholes", "V100", 5.0, 42).is_some());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn neighbors_lists_all_bounds_sorted() {
+        let cache = temp_cache("neighbors");
+        let _ = cache.clear();
+        for bound in [8.0, 2.0, 5.0] {
+            cache.store(&sample_plan_at(bound), 42).unwrap();
+        }
+        // A different benchmark in (likely) another shard must not appear.
+        let mut other = sample_plan_at(5.0);
+        other.benchmark = "KMeans".into();
+        cache.store(&other, 42).unwrap();
+
+        let ns = cache.neighbors("Blackscholes", "V100", 42);
+        assert_eq!(
+            ns.iter().map(|p| p.bound_pct).collect::<Vec<_>>(),
+            vec![2.0, 5.0, 8.0]
+        );
+        assert!(ns.iter().all(|p| p.from_cache));
+        assert!(ns.iter().all(|p| p.benchmark == "Blackscholes"));
+        // Wrong fingerprint: nothing survives (and entries are purged).
+        assert!(cache.neighbors("Blackscholes", "V100", 43).is_empty());
+        assert!(cache.neighbors("Blackscholes", "V100", 42).is_empty());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn concurrent_store_load_never_sees_partial_entries() {
+        // Writers replace the same key while readers hammer load(): with
+        // atomic write-replace every load must return a complete entry or
+        // None — a parse failure would delete the entry, so a full round
+        // of None-free loads after the writers join is the strongest
+        // signal nothing was ever torn.
+        let cache = temp_cache("concurrent");
+        let _ = cache.clear();
+        cache.store(&sample_plan(), 42).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = cache.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        c.store(&sample_plan(), 42).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let c = cache.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let plan = c
+                            .load("Blackscholes", "V100", 5.0, 42)
+                            .expect("entry must never be torn or missing");
+                        assert_eq!(plan.frontier.len(), 2);
+                    }
+                });
+            }
+        });
         cache.clear().unwrap();
     }
 

@@ -7,10 +7,15 @@
 //! remember it."*
 //!
 //! ```ignore
-//! let tuner = Tuner::new().with_cache(TuningCache::new(TuningCache::default_dir()));
-//! let plan = tuner.tune(&bench, &DeviceSpec::v100(), QualityBound::percent(5.0));
+//! let tuner = Tuner::new();
+//! let plan = tuner.search_plan(&bench, &DeviceSpec::v100(), QualityBound::percent(5.0), &[]);
 //! let report = plan.execute(&bench, &DeviceSpec::v100())?;
 //! ```
+//!
+//! Most callers should not drive the tuner directly: `hpac-service` wraps
+//! [`Tuner::search_plan`] behind a typed request/response API with a
+//! concurrent sharded cache, request coalescing, and warm starts. The old
+//! one-call [`Tuner::tune`] survives as a deprecated shim.
 //!
 //! * [`pareto`] — the incremental Pareto frontier over (speedup, error)
 //!   with dominance pruning: the whole tradeoff curve, not one point;
@@ -20,8 +25,9 @@
 //!   halving over grid resolution, random baseline) that evaluate orders
 //!   of magnitude fewer configurations than `Scale::Full`, in parallel;
 //! * [`plan`] — [`QualityBound`] in, re-executable [`TunedPlan`] out;
-//! * [`cache`] — the persistent JSON tuning cache keyed by (benchmark,
-//!   device, bound), invalidated by device-spec fingerprint;
+//! * [`cache`] — the sharded, lock-striped, atomic-write-replace JSON
+//!   tuning cache keyed by (benchmark, device, bound), invalidated by
+//!   device-spec fingerprint, safe for concurrent readers and writers;
 //! * [`json`] — the hand-rolled JSON tree behind the cache (the schema is
 //!   flat and fully owned here, like the harness's CSV).
 

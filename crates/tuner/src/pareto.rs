@@ -18,6 +18,26 @@ pub struct ParetoPoint {
     /// Human-readable parameter description (`SweepConfig::label`).
     pub config: String,
     pub items_per_thread: usize,
+    /// The fully parameterized region behind this point, when known.
+    /// Frontier points recorded by the search always carry it; it is what
+    /// makes a cached frontier *re-executable* — a warm-started search
+    /// re-evaluates neighboring bounds' points as concrete configurations
+    /// instead of searching cold.
+    pub region: Option<hpac_core::region::ApproxRegion>,
+    /// Launch shape for [`ParetoPoint::region`], when known.
+    pub lp: Option<hpac_apps::common::LaunchParams>,
+}
+
+impl ParetoPoint {
+    /// The concrete sweep configuration behind this point, when the point
+    /// carries one (points from schema-v1 caches do not).
+    pub fn to_config(&self) -> Option<hpac_harness::space::SweepConfig> {
+        Some(hpac_harness::space::SweepConfig {
+            region: self.region?,
+            lp: self.lp?,
+            label: self.config.clone(),
+        })
+    }
 }
 
 impl ParetoPoint {
@@ -119,6 +139,8 @@ mod tests {
             technique: "TAF".into(),
             config: format!("s={speedup} e={error_pct}"),
             items_per_thread: 8,
+            region: None,
+            lp: None,
         }
     }
 

@@ -152,6 +152,8 @@ impl<'a> Evaluator<'a> {
                     technique: ev.technique.to_string(),
                     config: cfg.label.clone(),
                     items_per_thread: ev.lp.items_per_thread,
+                    region: Some(ev.region),
+                    lp: Some(ev.lp),
                 });
             }
             self.seen.insert(cfg.label.clone(), outcome);

@@ -1,4 +1,13 @@
-//! The tuner front end: cache lookup, adaptive search, plan selection.
+//! The tuner core: adaptive search and plan selection.
+//!
+//! [`Tuner`] holds the search policy (strategy, grid scale, budget) and
+//! exposes one entry point, [`Tuner::search_plan`], which answers "fastest
+//! configuration for this benchmark on this device with at most X% error" —
+//! optionally warm-started from seed configurations (typically a cached
+//! neighbor bound's Pareto frontier). Caching, request coalescing, and
+//! provenance live a layer up, in `hpac-service`; the legacy one-call
+//! [`Tuner::tune`] that bundled cache handling with the search survives as a
+//! deprecated shim.
 
 use crate::cache::{device_fingerprint, TuningCache};
 use crate::grid::Grid;
@@ -6,15 +15,10 @@ use crate::plan::{QualityBound, TunedPlan};
 use crate::search::{search_grid, Evaluator, SearchStrategy};
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::Benchmark;
-use hpac_harness::runner::select_baseline;
-use hpac_harness::space::{self, Scale};
+use hpac_harness::runner::{select_baseline, Baseline};
+use hpac_harness::space::{self, Scale, SweepConfig};
 
 /// The quality-constrained autotuner.
-///
-/// `tune` answers "fastest configuration for this benchmark on this device
-/// with at most X% error", spending a small, bounded fraction of the full
-/// sweep's evaluation budget, and remembers answers across processes when a
-/// [`TuningCache`] is attached.
 #[derive(Debug)]
 pub struct Tuner {
     /// How each technique grid is walked.
@@ -26,7 +30,8 @@ pub struct Tuner {
     /// Evaluation budget as a fraction of the full design-space size
     /// (default 0.1 — an order of magnitude under `Scale::Full`).
     pub budget_fraction: f64,
-    /// Optional persistent cache.
+    /// Optional persistent cache, consulted only by the deprecated
+    /// [`Tuner::tune`] shim. The service layer owns the cache instead.
     pub cache: Option<TuningCache>,
 }
 
@@ -46,7 +51,8 @@ impl Tuner {
         Self::default()
     }
 
-    /// Attach a persistent cache directory.
+    /// Attach a persistent cache directory (used by the deprecated
+    /// [`Tuner::tune`] shim).
     pub fn with_cache(mut self, cache: TuningCache) -> Self {
         self.cache = Some(cache);
         self
@@ -70,8 +76,135 @@ impl Tuner {
         ((full as f64 * self.budget_fraction) as usize).max(1)
     }
 
-    /// Tune `bench` on `device` under `bound`. Served from the cache when a
-    /// valid entry exists; otherwise searches, then stores the result.
+    /// Search for the fastest plan under `bound`, never consulting or
+    /// writing a cache.
+    ///
+    /// `seeds` are concrete configurations evaluated *before* any grid walk
+    /// — typically the re-executable Pareto frontier of a neighboring
+    /// cached bound on the same (benchmark, device). If the seeds already
+    /// contain a feasible point genuinely faster than the accurate
+    /// baseline, that winner is returned immediately: a warm start spends
+    /// only `seeds.len()` evaluations instead of a full search. Otherwise
+    /// the full grid search proceeds with the same evaluator, so seed
+    /// evaluations still count against (and never exceed) the one budget a
+    /// cold search gets.
+    ///
+    /// With empty `seeds`, the search is cold and deterministic: repeated
+    /// calls with the same inputs retrace the same walk and return
+    /// identical plans.
+    pub fn search_plan(
+        &self,
+        bench: &dyn Benchmark,
+        device: &DeviceSpec,
+        bound: QualityBound,
+        seeds: &[SweepConfig],
+    ) -> TunedPlan {
+        let baseline = select_baseline(bench, device);
+        let full_space = space::full_space_size(bench, device);
+        let budget = ((full_space as f64 * self.budget_fraction) as usize).max(1);
+        let mut ev = Evaluator::new(bench, device, &baseline, budget);
+
+        if !seeds.is_empty() {
+            ev.eval_batch(seeds);
+            if let Some(plan) = self.winning_plan(bench, device, bound, &baseline, &ev, full_space)
+            {
+                return plan;
+            }
+            // No seed beats the baseline under the bound: fall through to
+            // the full search, reusing the evaluator (its memo table makes
+            // re-visited seed configs free, and its spent budget keeps the
+            // total at or under a cold search's).
+        }
+
+        // Deterministic per-(benchmark, device) seed so repeated cold tunes
+        // retrace the same search.
+        let seed = crate::cache::fnv1a(bench.name().bytes().chain(device.name.bytes()));
+        let grids = Grid::grids_for(bench, device, self.scale);
+        for (i, grid) in grids.iter().enumerate() {
+            let _grid = hpac_obs::span(
+                hpac_obs::SpanId::TunerSearchGrid,
+                i as u64,
+                grid.size() as u64,
+            );
+            search_grid(
+                grid,
+                &mut ev,
+                &self.strategy,
+                bound.max_error_pct,
+                seed.wrapping_add(i as u64),
+            );
+        }
+
+        self.winning_plan(bench, device, bound, &baseline, &ev, full_space)
+            .unwrap_or_else(|| {
+                // Nothing feasible: fall back to the accurate baseline
+                // rather than violating the caller's bound.
+                TunedPlan {
+                    benchmark: bench.name().to_string(),
+                    device: device.name.to_string(),
+                    bound_pct: bound.max_error_pct,
+                    region: None,
+                    lp: baseline.lp,
+                    technique: "accurate".to_string(),
+                    config: "accurate".to_string(),
+                    predicted_speedup: 1.0,
+                    measured_error_pct: 0.0,
+                    baseline_lp: baseline.lp,
+                    evaluations: ev.evaluations,
+                    full_space,
+                    from_cache: false,
+                    frontier: ev.frontier.clone(),
+                }
+            })
+    }
+
+    /// The plan for the evaluator's current best feasible point, if one
+    /// exists. A feasible point that is not actually faster than the
+    /// accurate baseline is worse than not approximating at all, so it
+    /// never wins.
+    fn winning_plan(
+        &self,
+        bench: &dyn Benchmark,
+        device: &DeviceSpec,
+        bound: QualityBound,
+        baseline: &Baseline,
+        ev: &Evaluator,
+        full_space: usize,
+    ) -> Option<TunedPlan> {
+        let best = ev
+            .frontier
+            .best_under(bound.max_error_pct)
+            .filter(|best| best.speedup > 1.0)?;
+        let chosen = ev
+            .lookup(&best.config)
+            .expect("frontier points come from evaluated configs");
+        Some(TunedPlan {
+            benchmark: bench.name().to_string(),
+            device: device.name.to_string(),
+            bound_pct: bound.max_error_pct,
+            region: Some(chosen.region),
+            lp: chosen.lp,
+            technique: best.technique.clone(),
+            config: best.config.clone(),
+            predicted_speedup: best.speedup,
+            measured_error_pct: best.error_pct,
+            baseline_lp: baseline.lp,
+            evaluations: ev.evaluations,
+            full_space,
+            from_cache: false,
+            frontier: ev.frontier.clone(),
+        })
+    }
+
+    /// Tune `bench` on `device` under `bound`. Served from the attached
+    /// cache when a valid entry exists; otherwise searches cold, then
+    /// stores the result.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a `hpac_service::TuneRequest` and submit it to a \
+                `hpac_service::TuningService` (coalescing, warm starts, \
+                provenance), or call `Tuner::search_plan` directly"
+    )]
     pub fn tune(
         &self,
         bench: &dyn Benchmark,
@@ -95,76 +228,7 @@ impl Tuner {
             hpac_obs::inc(hpac_obs::CounterId::TunerCacheMisses);
         }
 
-        let baseline = select_baseline(bench, device);
-        let full_space = space::full_space_size(bench, device);
-        let budget = ((full_space as f64 * self.budget_fraction) as usize).max(1);
-        let mut ev = Evaluator::new(bench, device, &baseline, budget);
-        // Deterministic per-(benchmark, device) seed so repeated cold tunes
-        // retrace the same search.
-        let seed = crate::cache::fnv1a(bench.name().bytes().chain(device.name.bytes()));
-        let grids = Grid::grids_for(bench, device, self.scale);
-        for (i, grid) in grids.iter().enumerate() {
-            let _grid = hpac_obs::span(
-                hpac_obs::SpanId::TunerSearchGrid,
-                i as u64,
-                grid.size() as u64,
-            );
-            search_grid(
-                grid,
-                &mut ev,
-                &self.strategy,
-                bound.max_error_pct,
-                seed.wrapping_add(i as u64),
-            );
-        }
-
-        // A feasible point that is not actually faster than the accurate
-        // baseline is worse than not approximating at all.
-        let winner = ev
-            .frontier
-            .best_under(bound.max_error_pct)
-            .filter(|best| best.speedup > 1.0);
-        let plan = match winner {
-            Some(best) => {
-                let chosen = ev
-                    .lookup(&best.config)
-                    .expect("frontier points come from evaluated configs");
-                TunedPlan {
-                    benchmark: bench.name().to_string(),
-                    device: device.name.to_string(),
-                    bound_pct: bound.max_error_pct,
-                    region: Some(chosen.region),
-                    lp: chosen.lp,
-                    technique: best.technique.clone(),
-                    config: best.config.clone(),
-                    predicted_speedup: best.speedup,
-                    measured_error_pct: best.error_pct,
-                    baseline_lp: baseline.lp,
-                    evaluations: ev.evaluations,
-                    full_space,
-                    from_cache: false,
-                    frontier: ev.frontier.clone(),
-                }
-            }
-            // Nothing feasible: fall back to the accurate baseline rather
-            // than violating the caller's bound.
-            None => TunedPlan {
-                benchmark: bench.name().to_string(),
-                device: device.name.to_string(),
-                bound_pct: bound.max_error_pct,
-                region: None,
-                lp: baseline.lp,
-                technique: "accurate".to_string(),
-                config: "accurate".to_string(),
-                predicted_speedup: 1.0,
-                measured_error_pct: 0.0,
-                baseline_lp: baseline.lp,
-                evaluations: ev.evaluations,
-                full_space,
-                from_cache: false,
-                frontier: ev.frontier.clone(),
-            },
-        };
+        let plan = self.search_plan(bench, device, bound, &[]);
 
         if let Some(cache) = &self.cache {
             if let Err(e) = cache.store(&plan, fingerprint) {
@@ -177,6 +241,8 @@ impl Tuner {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim's behavior is still under test
+
     use super::*;
     use hpac_apps::blackscholes::Blackscholes;
 
@@ -233,6 +299,47 @@ mod tests {
             assert_eq!(plan.predicted_speedup, 1.0);
         }
         assert!(plan.respects_bound());
+    }
+
+    #[test]
+    fn shim_matches_search_plan_bit_for_bit() {
+        let bench = tune_bs();
+        let spec = DeviceSpec::v100();
+        let tuner = quick_tuner();
+        let via_shim = tuner.tune(&bench, &spec, QualityBound::percent(5.0));
+        let direct = tuner.search_plan(&bench, &spec, QualityBound::percent(5.0), &[]);
+        assert_eq!(via_shim.config, direct.config);
+        assert_eq!(via_shim.predicted_speedup, direct.predicted_speedup);
+        assert_eq!(via_shim.measured_error_pct, direct.measured_error_pct);
+        assert_eq!(via_shim.evaluations, direct.evaluations);
+        assert_eq!(via_shim.frontier.len(), direct.frontier.len());
+    }
+
+    #[test]
+    fn warm_seeds_from_own_frontier_shortcut_the_search() {
+        let bench = tune_bs();
+        let spec = DeviceSpec::v100();
+        let tuner = quick_tuner();
+        let bound = QualityBound::percent(5.0);
+        let cold = tuner.search_plan(&bench, &spec, bound, &[]);
+        assert!(cold.region.is_some(), "test needs a feasible winner");
+        let seeds: Vec<_> = cold
+            .frontier
+            .points()
+            .iter()
+            .filter_map(|p| p.to_config())
+            .collect();
+        assert!(!seeds.is_empty());
+        let warm = tuner.search_plan(&bench, &spec, bound, &seeds);
+        assert_eq!(warm.config, cold.config, "same winner, warm or cold");
+        assert!(
+            warm.evaluations <= seeds.len(),
+            "warm start evaluated {} > {} seeds",
+            warm.evaluations,
+            seeds.len()
+        );
+        assert!(warm.evaluations <= cold.evaluations);
+        assert!(warm.respects_bound());
     }
 
     #[test]

@@ -1,23 +1,27 @@
-//! Autotuning quickstart: ask the tuner for the fastest Blackscholes
-//! configuration with at most 5% error on a V100, inspect the Pareto
-//! frontier it discovered, re-execute the plan, and watch the second
-//! request hit the persistent cache.
+//! Autotuning quickstart: submit a typed request to the tuning service for
+//! the fastest Blackscholes configuration with at most 5% error on a V100,
+//! inspect the Pareto frontier it discovered, re-execute the plan, and
+//! watch a repeat request hit the persistent cache and a neighboring bound
+//! warm-start from it.
 //!
 //! Run with: `cargo run --release --example autotune`
 
 use gpu_sim::DeviceSpec;
 use hpac_offload::apps::blackscholes::Blackscholes;
-use hpac_offload::tuner::{QualityBound, Tuner, TuningCache};
+use hpac_offload::service::{TuneRequest, TuningService};
+use hpac_offload::tuner::{QualityBound, TuningCache};
 
 fn main() {
     let bench = Blackscholes::default();
     let device = DeviceSpec::v100();
-    let cache = TuningCache::new(TuningCache::default_dir());
-    let tuner = Tuner::new().with_cache(cache);
+    let service = TuningService::new().with_cache(TuningCache::new(TuningCache::default_dir()));
     let bound = QualityBound::percent(5.0);
 
-    // First request: adaptive search over the Table 2 grids.
-    let plan = tuner.tune(&bench, &device, bound);
+    // First request: adaptive search over the Table 2 grids (or a cache
+    // hit, if you have run this example before — delete the cache dir to
+    // watch the search again).
+    let resp = service.submit(TuneRequest::new(&bench, &device, bound));
+    let plan = &resp.plan;
     println!(
         "tuned {} on {}: {} [{}] -> {:.2}x speedup at {:.3}% error",
         plan.benchmark,
@@ -28,11 +32,11 @@ fn main() {
         plan.measured_error_pct,
     );
     println!(
-        "evaluated {} of {} configurations ({:.1}% of the full sweep), source: {}",
-        plan.evaluations,
+        "source: {:?}, {} fresh evaluations of {} configurations, {:.2} ms in submit",
+        resp.source,
+        resp.evals_spent,
         plan.full_space,
-        plan.budget_fraction_used() * 100.0,
-        if plan.from_cache { "cache" } else { "search" },
+        resp.wall_ns as f64 / 1e6,
     );
 
     println!("\nPareto frontier (error% -> speedup):");
@@ -52,10 +56,25 @@ fn main() {
         report.end_to_end_seconds * 1e3,
     );
 
-    // Second request: served from the persistent cache.
-    let warm = tuner.tune(&bench, &device, bound);
+    // Second request: served from the persistent cache, zero evaluations.
+    let warm = service.submit(TuneRequest::new(&bench, &device, bound));
     println!(
-        "\nsecond request served from cache: {} (config {})",
-        warm.from_cache, warm.config
+        "\nsecond request: source {:?}, {} evaluations (config {})",
+        warm.source, warm.evals_spent, warm.plan.config
+    );
+
+    // A different bound on the same (benchmark, device) warm-starts from
+    // the cached frontier instead of searching cold.
+    let neighbor = service.submit(TuneRequest::new(
+        &bench,
+        &device,
+        QualityBound::percent(2.0),
+    ));
+    println!(
+        "2% bound: source {:?}, {} evaluations -> {:.2}x at {:.3}% error",
+        neighbor.source,
+        neighbor.evals_spent,
+        neighbor.plan.predicted_speedup,
+        neighbor.plan.measured_error_pct,
     );
 }

@@ -9,7 +9,10 @@
 //! * [`harness`] — the design-space-exploration harness and figure
 //!   generators,
 //! * [`tuner`] — the quality-constrained autotuner: Pareto frontiers,
-//!   adaptive search, and the persistent tuning cache,
+//!   adaptive search, and the sharded persistent tuning cache,
+//! * [`service`] — the concurrent tuning front end: typed
+//!   request/response API, request coalescing, warm starts from
+//!   neighboring bounds, engine admission,
 //! * [`obs`] — structured tracing and metrics (spans, counters, per-worker
 //!   ring buffers, JSONL / Chrome-trace sinks, `MetricsSnapshot`), enabled
 //!   via `HPAC_TRACE=<path>[:jsonl|chrome]`.
@@ -22,4 +25,5 @@ pub use hpac_apps as apps;
 pub use hpac_core as core;
 pub use hpac_harness as harness;
 pub use hpac_obs as obs;
+pub use hpac_service as service;
 pub use hpac_tuner as tuner;

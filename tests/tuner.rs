@@ -16,6 +16,8 @@ fn pt(speedup: f64, error_pct: f64) -> ParetoPoint {
         technique: "TAF".into(),
         config: format!("s={speedup} e={error_pct}"),
         items_per_thread: 8,
+        region: None,
+        lp: None,
     }
 }
 
@@ -133,7 +135,7 @@ fn blackscholes_plan_respects_bound() {
     let bench = Blackscholes::default();
     let spec = DeviceSpec::v100();
     let tuner = Tuner::new().with_scale(Scale::Quick);
-    let plan = tuner.tune(&bench, &spec, QualityBound::percent(5.0));
+    let plan = tuner.search_plan(&bench, &spec, QualityBound::percent(5.0), &[]);
     assert!(plan.respects_bound(), "error {}", plan.measured_error_pct);
     assert!(
         plan.budget_fraction_used() < 0.10,
@@ -164,7 +166,7 @@ fn kmeans_plan_respects_bound() {
     };
     let spec = DeviceSpec::mi250x();
     let tuner = Tuner::new().with_scale(Scale::Quick);
-    let plan = tuner.tune(&bench, &spec, QualityBound::percent(5.0));
+    let plan = tuner.search_plan(&bench, &spec, QualityBound::percent(5.0), &[]);
     assert!(plan.respects_bound(), "error {}", plan.measured_error_pct);
     assert!(
         plan.budget_fraction_used() < 0.10,
