@@ -12,13 +12,17 @@
 //! here (fewer blocks ⇒ each block prices more options in sequence ⇒ more
 //! approximation potential but less latency-hiding parallelism — Fig 8c).
 
-use crate::common::{AppResult, Benchmark, ComputeMemo, LaunchParams, QoI, RunAccumulator};
+use crate::common::{
+    current_eval_memo, eval_key, AppResult, Benchmark, ComputeMemo, LaunchParams, QoI,
+    RunAccumulator,
+};
 use gpu_sim::transfer::Direction;
 use gpu_sim::{AccessPattern, CostProfile, DeviceSpec};
 use hpac_core::exec::{approx_block_tasks_opts, BlockTaskBody, ExecOptions};
 use hpac_core::region::{ApproxRegion, RegionError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Per-option parameters: spot, strike, rate, volatility, expiry.
 pub const OPTION_DIMS: usize = 5;
@@ -118,8 +122,10 @@ struct BinomialBody<'a> {
     /// Interns the pure lattice walk per distinct option row: the
     /// portfolio tiles `distinct` base options, so at most that many O(n²)
     /// walks run per launch while the simulator still charges every
-    /// accurate task (see [`ComputeMemo`]).
-    memo: ComputeMemo,
+    /// accurate task (see [`ComputeMemo`]). Under a sweep-scoped
+    /// [`EvalMemo`](crate::common::EvalMemo) the memo is shared across all
+    /// configs of the sweep, so each distinct walk runs once per sweep.
+    memo: Arc<ComputeMemo>,
 }
 
 impl BlockTaskBody for BinomialBody<'_> {
@@ -169,6 +175,16 @@ impl Benchmark for BinomialOptions {
         true
     }
 
+    fn launch_class(&self, spec: &DeviceSpec, lp: &LaunchParams) -> Option<u64> {
+        // Mirror of `run_opts`' launch derivation: options-per-block values
+        // that clamp to the same block grid execute identically.
+        let opt_per_block = lp.items_per_thread.max(1);
+        let n_blocks = self.n_options.div_ceil(opt_per_block).max(1) as u32;
+        let launch_blocks = n_blocks.min(self.n_options as u32);
+        let block_size = lp.block_size.min(spec.max_threads_per_block);
+        Some(((launch_blocks as u64) << 32) | block_size as u64)
+    }
+
     fn run_opts(
         &self,
         spec: &DeviceSpec,
@@ -184,8 +200,27 @@ impl Benchmark for BinomialOptions {
         let block_size = lp.block_size.min(spec.max_threads_per_block);
         let warps_per_block = block_size.div_ceil(spec.warp_size);
 
+        // The lattice walk is keyed by everything that shapes it: the
+        // portfolio parameters and the tree depth.
+        let build = || ComputeMemo::from_rows(&options, OPTION_DIMS, 1);
+        let memo = match current_eval_memo() {
+            Some(store) => {
+                let key = eval_key(
+                    "Binomial Options",
+                    &[
+                        self.n_options as u64,
+                        self.tree_steps as u64,
+                        self.distinct as u64,
+                        self.run_len as u64,
+                        self.seed,
+                    ],
+                );
+                store.get_or_build(&key, build)
+            }
+            None => Arc::new(build()),
+        };
         let mut body = BinomialBody {
-            memo: ComputeMemo::from_rows(&options, OPTION_DIMS, 1),
+            memo,
             options: &options,
             prices: vec![0.0; self.n_options],
             tree_steps: self.tree_steps,

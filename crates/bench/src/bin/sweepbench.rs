@@ -90,9 +90,18 @@ struct AppTiming {
     /// `MixMemo` hit rate over the parallel warmup pass; `None` if the app
     /// made no lookups.
     mix_memo_hit_rate: Option<f64>,
-    /// `ComputeMemo` hit rate over the parallel warmup pass (only Binomial
-    /// interns input rows today).
+    /// `ComputeMemo` hit rate over the parallel warmup pass.
     compute_memo_hit_rate: Option<f64>,
+    /// Sweep-scoped `EvalMemo` hit rate over the parallel warmup pass.
+    eval_memo_hit_rate: Option<f64>,
+    /// Output-fingerprint quality-cache hit rate over the parallel warmup
+    /// pass.
+    quality_cache_hit_rate: Option<f64>,
+    /// Configurations elided as canonical duplicates in the warmup pass.
+    configs_deduped: u64,
+    /// Configurations abandoned at the cost ceiling in the warmup pass
+    /// (always 0 for sweeps — only the tuner sets a ceiling).
+    early_aborts: u64,
     /// Fraction of the effective engine width kept busy during the parallel
     /// warmup pass.
     workers_utilization: f64,
@@ -124,6 +133,50 @@ fn app_filter_from_args() -> Option<String> {
         }
     }
     None
+}
+
+/// `--baseline <path>`: compare this run's per-app throughput against a
+/// previously recorded `BENCH_sweep.json` and exit non-zero on a >10%
+/// regression (the CI perf gate).
+fn baseline_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--baseline requires a path to a BENCH_sweep.json");
+                std::process::exit(2);
+            });
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// Extract `(benchmark, configs_per_second)` pairs from a previously
+/// written `BENCH_sweep.json`. The file is our own hand-rolled format with
+/// one app object per line, so a line scan is exact.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(bpos) = line.find("\"benchmark\": \"") else {
+            continue;
+        };
+        let rest = &line[bpos + "\"benchmark\": \"".len()..];
+        let Some(endq) = rest.find('"') else { continue };
+        let name = rest[..endq].to_string();
+        let Some(cpos) = line.find("\"configs_per_second\": ") else {
+            continue;
+        };
+        let rest = &line[cpos + "\"configs_per_second\": ".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
 }
 
 /// Short commit hash of the tree being benchmarked, so BENCH_sweep.json
@@ -206,6 +259,13 @@ fn main() {
     let traced = hpac_obs::sink_config().is_some();
     let scale = hpac_bench::scale_from_args();
     let filter = app_filter_from_args();
+    // Read the baseline *now*, before this run overwrites BENCH_sweep.json:
+    // the gate must compare against the previously recorded numbers.
+    let baseline_text = baseline_path_from_args().map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        (path, text)
+    });
     let commit = git_commit();
     let spec = DeviceSpec::v100();
     let host_cores = std::thread::available_parallelism()
@@ -281,6 +341,10 @@ fn main() {
             par_seconds: par.median_seconds,
             mix_memo_hit_rate: par.metrics.mix_memo_hit_rate(),
             compute_memo_hit_rate: par.metrics.compute_memo_hit_rate(),
+            eval_memo_hit_rate: par.metrics.eval_memo_hit_rate(),
+            quality_cache_hit_rate: par.metrics.quality_cache_hit_rate(),
+            configs_deduped: par.metrics.counter(hpac_obs::CounterId::ConfigsDeduped),
+            early_aborts: par.metrics.counter(hpac_obs::CounterId::EarlyAborts),
             workers_utilization: par.metrics.utilization(warmup_wall_ns, workers),
         };
         println!(
@@ -331,7 +395,9 @@ fn main() {
             "    {{\"benchmark\": \"{}\", \"configs\": {}, \"sequential_seconds\": {:.6}, \
              \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \
              \"configs_per_second\": {:.4}, \"mix_memo_hit_rate\": {}, \
-             \"compute_memo_hit_rate\": {}, \"workers_utilization\": {:.4}}}{}",
+             \"compute_memo_hit_rate\": {}, \"eval_memo_hit_rate\": {}, \
+             \"quality_cache_hit_rate\": {}, \"configs_deduped\": {}, \
+             \"early_aborts\": {}, \"workers_utilization\": {:.4}}}{}",
             t.name,
             t.rows,
             t.seq_seconds,
@@ -340,6 +406,10 @@ fn main() {
             t.configs_per_second(),
             fmt_rate(t.mix_memo_hit_rate),
             fmt_rate(t.compute_memo_hit_rate),
+            fmt_rate(t.eval_memo_hit_rate),
+            fmt_rate(t.quality_cache_hit_rate),
+            t.configs_deduped,
+            t.early_aborts,
             t.workers_utilization,
             comma
         );
@@ -366,5 +436,42 @@ fn main() {
         let cfg = hpac_obs::sink_config().expect("sink installed");
         hpac_obs::finish().expect("finalize trace sink");
         println!("wrote trace to {} ({:?})", cfg.path.display(), cfg.format);
+    }
+
+    // Perf gate: compare per-app throughput against the recorded baseline.
+    if let Some((path, text)) = baseline_text {
+        let base = parse_baseline(&text);
+        let mut regressed = false;
+        println!("\nbaseline comparison vs {}:", path.display());
+        println!(
+            "{:<18} {:>12} {:>12} {:>8}",
+            "benchmark", "base cfg/s", "now cfg/s", "delta"
+        );
+        for t in &timings {
+            match base.iter().find(|(n, _)| n == t.name) {
+                Some((_, b)) => {
+                    let now = t.configs_per_second();
+                    let delta = (now - b) / b * 100.0;
+                    let flag = if delta < -10.0 {
+                        regressed = true;
+                        "  REGRESSION"
+                    } else {
+                        ""
+                    };
+                    println!(
+                        "{:<18} {:>12.1} {:>12.1} {:>+7.1}%{}",
+                        t.name, b, now, delta, flag
+                    );
+                }
+                None => println!("{:<18} not present in baseline", t.name),
+            }
+        }
+        if regressed {
+            eprintln!(
+                "sweepbench: throughput regressed >10% vs {}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -19,7 +19,7 @@
 use crate::exec::body::BlockTaskBody;
 use crate::exec::charge::StoreBuffer;
 use crate::exec::engine::engine;
-use crate::exec::walk::{chunk_ranges, AUTO_FANOUT_MIN_WARP_STEPS};
+use crate::exec::walk::{self, chunk_ranges, AUTO_FANOUT_MIN_WARP_STEPS};
 use crate::exec::{ExecOptions, Executor};
 use crate::hierarchy::{self, HierarchyLevel};
 use crate::iact::IactPool;
@@ -176,6 +176,7 @@ pub fn approx_block_tasks_opts(
                 exec.merge_block(b, acc);
                 b += 1;
             }
+            walk::check_ceiling(&exec, opts)?;
             stores.replay(|task, out| body.store(task, out));
         }
     } else {
@@ -192,6 +193,7 @@ pub fn approx_block_tasks_opts(
             });
             exec.merge_block(b, &acc);
             acc.reset();
+            walk::check_ceiling(&exec, opts)?;
             buffer.replay(|task, out| body.store(task, out));
             buffer.clear();
         }

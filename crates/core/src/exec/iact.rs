@@ -35,8 +35,12 @@ pub(crate) struct IactState {
     out_cache: Vec<f64>,
     probe_slot: Vec<Option<usize>>,
     probe_dist: Vec<f64>,
-    acc_mask: Vec<bool>,
     out: Vec<f64>,
+    // Per-step writer election scratch, one cell per table of the current
+    // warp: the accurate lane with the largest probe distance seen so far
+    // (`usize::MAX` = no accurate lane touched the table yet).
+    writer_kg: Vec<usize>,
+    writer_dist: Vec<f64>,
 }
 
 impl IactPolicy {
@@ -66,8 +70,9 @@ impl TechniquePolicy for IactPolicy {
             out_cache: vec![0.0; lanes * out_dim],
             probe_slot: vec![None; lanes],
             probe_dist: vec![f64::INFINITY; lanes],
-            acc_mask: vec![false; lanes],
             out: vec![0.0; out_dim],
+            writer_kg: vec![usize::MAX; self.tables_per_warp as usize],
+            writer_dist: vec![f64::NEG_INFINITY; self.tables_per_warp as usize],
         }
     }
 
@@ -111,6 +116,14 @@ impl TechniquePolicy for IactPolicy {
         let n = ctx.slice.n as usize;
         let base = ctx.slice.warp as usize * st.warp_size;
 
+        // Writer election happens inline with the lane pass: per table, the
+        // accurate lane with the largest probe distance (first such lane
+        // wins ties, matching a k-ascending scan). One pass over the lanes
+        // replaces the former `tables_per_warp × n` rescan.
+        let tables_touched = (n as u32).div_ceil(self.lanes_per_table) as usize;
+        st.writer_kg[..tables_touched].fill(usize::MAX);
+        st.writer_dist[..tables_touched].fill(f64::NEG_INFINITY);
+
         let mut n_acc = 0u32;
         let mut n_apx = 0u32;
         for k in 0..n {
@@ -124,7 +137,6 @@ impl TechniquePolicy for IactPolicy {
                 WarpDecision::GroupApprox => st.probe_slot[kg].is_some(),
                 WarpDecision::GroupAccurate => false,
             };
-            st.acc_mask[kg] = !approx;
             if approx {
                 let slot = st.probe_slot[kg].expect("approx lane must have an entry");
                 st.out.copy_from_slice(st.pool.output(t, slot));
@@ -136,34 +148,28 @@ impl TechniquePolicy for IactPolicy {
                 st.out_cache[kg * out_dim..(kg + 1) * out_dim].copy_from_slice(&st.out);
                 access.store(item, &st.out);
                 n_acc += 1;
+                let table_off = k / self.lanes_per_table as usize;
+                if st.probe_dist[kg] > st.writer_dist[table_off] {
+                    st.writer_dist[table_off] = st.probe_dist[kg];
+                    st.writer_kg[table_off] = kg;
+                }
             }
         }
 
         // Write phase: one writer per table — the accurate lane whose
         // inputs were farthest from any cached entry (most novel).
         if n_acc > 0 {
-            for table_off in 0..self.tables_per_warp {
-                let t = (ctx.slice.warp * self.tables_per_warp + table_off) as usize;
-                let mut writer: Option<usize> = None;
-                let mut best = f64::NEG_INFINITY;
-                for k in 0..n {
-                    let kg = base + k;
-                    if !st.acc_mask[kg] || (k as u32 / self.lanes_per_table) != table_off {
-                        continue;
-                    }
-                    let d = st.probe_dist[kg];
-                    if d > best {
-                        best = d;
-                        writer = Some(kg);
-                    }
+            for table_off in 0..tables_touched {
+                let kg = st.writer_kg[table_off];
+                if kg == usize::MAX {
+                    continue;
                 }
-                if let Some(kg) = writer {
-                    st.pool.insert(
-                        t,
-                        &st.in_cache[kg * in_dim..(kg + 1) * in_dim],
-                        &st.out_cache[kg * out_dim..(kg + 1) * out_dim],
-                    );
-                }
+                let t = (ctx.slice.warp * self.tables_per_warp) as usize + table_off;
+                st.pool.insert(
+                    t,
+                    &st.in_cache[kg * in_dim..(kg + 1) * in_dim],
+                    &st.out_cache[kg * out_dim..(kg + 1) * out_dim],
+                );
             }
         }
 

@@ -98,6 +98,15 @@ pub struct ExecOptions {
     /// to `HPAC_THREADS`, then to every available core — the canonical
     /// precedence chain lives in the [`engine`] module docs.
     pub threads: Option<usize>,
+    /// Modeled-seconds ceiling for frontier-aware early abort. When set,
+    /// the walk compares a *lower bound* of the run's accumulated modeled
+    /// time (prior kernels on this thread plus the in-flight kernel's
+    /// issue cycles spread over all SMs) against the ceiling at block
+    /// boundaries and returns [`RegionError::CostCeiling`] once it is
+    /// provably exceeded. Results are bit-identical when no abort fires;
+    /// callers must only set a ceiling they are prepared to treat as a
+    /// proof of "cannot beat the incumbent" (see the tuner's wiring).
+    pub abort_above_seconds: Option<f64>,
 }
 
 impl Default for ExecOptions {
@@ -106,6 +115,7 @@ impl Default for ExecOptions {
             serialized_taf: false,
             executor: Executor::from_env(),
             threads: None,
+            abort_above_seconds: None,
         }
     }
 }

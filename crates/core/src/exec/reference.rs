@@ -809,6 +809,7 @@ mod tests {
                     serialized_taf: serialized,
                     executor,
                     threads,
+                    abort_above_seconds: None,
                 };
                 prop_assert!(
                     approx_parallel_for_opts(&spec, lc, region, &mut body, &opts).is_err(),
@@ -823,6 +824,7 @@ mod tests {
             serialized_taf: serialized,
             executor,
             threads,
+            abort_above_seconds: None,
         };
         let got = approx_parallel_for_opts(&spec, lc, region, &mut body, &opts)
             .expect("walk rejected a launch the oracle accepts");

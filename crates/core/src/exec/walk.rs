@@ -257,6 +257,21 @@ pub(crate) fn flush_memo_stats(arena: &mut WalkArena) {
     }
 }
 
+/// Frontier-aware early abort: with a ceiling set, fail once the modeled
+/// time already spent — prior kernels finished on this thread plus a lower
+/// bound on the in-flight kernel's merged work — provably exceeds it.
+/// Checked at block boundaries so the bit-identical accounting of completed
+/// blocks is untouched; when no abort fires the run is indistinguishable
+/// from an unbounded one.
+pub(crate) fn check_ceiling(exec: &KernelExec, opts: &ExecOptions) -> Result<(), RegionError> {
+    if let Some(ceiling) = opts.abort_above_seconds {
+        if gpu_sim::modeled_seconds() + exec.lower_bound_seconds() > ceiling {
+            return Err(RegionError::CostCeiling(ceiling));
+        }
+    }
+    Ok(())
+}
+
 /// Run every block of the launch through `policy` and fold the results into
 /// a [`KernelRecord`], on the executor `opts` selects.
 pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
@@ -316,6 +331,7 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
                     exec.merge_block(b, acc);
                     b += 1;
                 }
+                check_ceiling(&exec, opts)?;
                 // Chunks replay in chunk (= block) order, and each chunk's
                 // buffer recorded its blocks' stores in walk order, so the
                 // global store order matches the sequential walk.
@@ -345,6 +361,7 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
             });
             for (b, acc) in per_chunk.iter().flatten().enumerate() {
                 exec.merge_block(b as u32, acc);
+                check_ceiling(&exec, opts)?;
             }
         }
         // Sequential reference, or a Global-visibility body that must stay
@@ -358,6 +375,7 @@ pub(crate) fn execute<P: TechniquePolicy + ?Sized>(
                 walk_block(&geom, policy, &mut access, b, &mut arena, &mut acc);
                 exec.merge_block(b, &acc);
                 acc.reset();
+                check_ceiling(&exec, opts)?;
             }
             flush_memo_stats(&mut arena);
         }

@@ -45,8 +45,11 @@ pub struct IactPool {
     inputs: Vec<f64>,
     /// `n_tables * tsize * out_dim`
     outputs: Vec<f64>,
-    /// `n_tables * tsize`
-    valid: Vec<bool>,
+    /// Valid entries per table. Insertion always fills the first empty slot,
+    /// so the valid slots of a table form the prefix `0..fill` — the probe
+    /// loop walks a contiguous slice instead of testing a validity bit per
+    /// slot.
+    fill: Vec<u32>,
     /// CLOCK reference bits, `n_tables * tsize`.
     referenced: Vec<bool>,
     /// Per-table round-robin pointer / clock hand.
@@ -65,7 +68,7 @@ impl IactPool {
             n_tables,
             inputs: vec![0.0; slots * in_dim],
             outputs: vec![0.0; slots * out_dim],
-            valid: vec![false; slots],
+            fill: vec![0; n_tables],
             referenced: vec![false; slots],
             hand: vec![0; n_tables],
         }
@@ -89,19 +92,23 @@ impl IactPool {
     }
 
     /// Search `table` for the entry closest to `query` (read phase).
+    ///
+    /// Valid slots are the prefix `0..fill` (see [`IactPool::fill`]), so the
+    /// walk is a branch-free scan over one contiguous slice — this is the
+    /// hottest loop of an iACT sweep (every lane, every step).
     pub fn probe(&self, table: usize, query: &[f64]) -> Probe {
         debug_assert_eq!(query.len(), self.in_dim);
+        let filled = self.fill[table] as usize;
+        let base = table * self.params.tsize * self.in_dim;
         let mut best: Option<usize> = None;
         let mut best_d2 = f64::INFINITY;
-        for slot in 0..self.params.tsize {
-            let idx = self.slot_index(table, slot);
-            if !self.valid[idx] {
-                continue;
-            }
-            let base = idx * self.in_dim;
+        for (slot, entry) in self.inputs[base..base + filled * self.in_dim]
+            .chunks_exact(self.in_dim)
+            .enumerate()
+        {
             let mut d2 = 0.0;
-            for (k, &q) in query.iter().enumerate() {
-                let diff = q - self.inputs[base + k];
+            for (&q, &e) in query.iter().zip(entry) {
+                let diff = q - e;
                 d2 += diff * diff;
             }
             if d2 < best_d2 {
@@ -135,11 +142,10 @@ impl IactPool {
     /// policy, advancing the hand.
     fn victim(&mut self, table: usize) -> usize {
         let tsize = self.params.tsize;
-        // Empty slots are always preferred.
-        for slot in 0..tsize {
-            if !self.valid[self.slot_index(table, slot)] {
-                return slot;
-            }
+        // Empty slots are always preferred; they form the suffix `fill..`.
+        let filled = self.fill[table] as usize;
+        if filled < tsize {
+            return filled;
         }
         match self.params.replacement {
             Replacement::RoundRobin => {
@@ -174,15 +180,13 @@ impl IactPool {
         let idx = self.slot_index(table, slot);
         self.inputs[idx * self.in_dim..(idx + 1) * self.in_dim].copy_from_slice(inputs);
         self.outputs[idx * self.out_dim..(idx + 1) * self.out_dim].copy_from_slice(outputs);
-        self.valid[idx] = true;
+        self.fill[table] = self.fill[table].max(slot as u32 + 1);
         self.referenced[idx] = false;
     }
 
     /// Number of valid entries in `table` (diagnostics and tests).
     pub fn occupancy(&self, table: usize) -> usize {
-        (0..self.params.tsize)
-            .filter(|&s| self.valid[self.slot_index(table, s)])
-            .count()
+        self.fill[table] as usize
     }
 
     /// Cycle cost of the read phase for one warp step: gathering handled by

@@ -40,6 +40,10 @@ pub enum RegionError {
     /// The underlying kernel launch was rejected (geometry or shared
     /// memory, including AC state that does not fit).
     Launch(LaunchError),
+    /// Execution was abandoned because the modeled cost already exceeds
+    /// the caller's ceiling (`ExecOptions::abort_above_seconds`): the run
+    /// provably cannot beat the configuration the ceiling was derived from.
+    CostCeiling(f64),
 }
 
 impl std::fmt::Display for RegionError {
@@ -47,6 +51,9 @@ impl std::fmt::Display for RegionError {
         match self {
             RegionError::Invalid(msg) => write!(f, "invalid approx region: {msg}"),
             RegionError::Launch(e) => write!(f, "launch failed: {e}"),
+            RegionError::CostCeiling(s) => {
+                write!(f, "aborted: modeled cost exceeds ceiling of {s:.3e}s")
+            }
         }
     }
 }
@@ -148,6 +155,44 @@ impl ApproxRegion {
     pub fn technique_name(&self) -> &'static str {
         self.technique.name()
     }
+
+    /// Exact-bit fingerprint of the region as `u64` words: technique and
+    /// level discriminants plus every parameter's bit pattern. Two regions
+    /// with equal fingerprints behave identically on any body and launch,
+    /// which lets the harness dedup grid points whose launch shapes also
+    /// coincide.
+    pub fn fingerprint_words(&self) -> Vec<u64> {
+        let level = self.level as u64;
+        match &self.technique {
+            Technique::Taf(p) => vec![
+                1,
+                p.hsize as u64,
+                p.psize as u64,
+                p.threshold.to_bits(),
+                level,
+            ],
+            Technique::Iact(p) => vec![
+                2,
+                p.tsize as u64,
+                p.threshold.to_bits(),
+                p.tables_per_warp as u64,
+                match p.replacement {
+                    Replacement::RoundRobin => 0,
+                    Replacement::Clock => 1,
+                },
+                level,
+            ],
+            Technique::Perfo(p) => {
+                let (kind, arg) = match p.kind {
+                    PerfoKind::Small { m } => (0u64, m as u64),
+                    PerfoKind::Large { m } => (1, m as u64),
+                    PerfoKind::Ini { fraction } => (2, fraction.to_bits()),
+                    PerfoKind::Fini { fraction } => (3, fraction.to_bits()),
+                };
+                vec![3, kind, arg, p.herded as u64, level]
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +271,31 @@ mod tests {
         assert_eq!(
             ApproxRegion::perfo(PerfoKind::Ini { fraction: 0.1 }).technique_name(),
             "Perfo"
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_regions() {
+        let a = ApproxRegion::memo_out(3, 5, 1.5);
+        let b = ApproxRegion::memo_out(3, 5, 1.5);
+        assert_eq!(a.fingerprint_words(), b.fingerprint_words());
+        assert_ne!(
+            a.fingerprint_words(),
+            ApproxRegion::memo_out(3, 5, 1.0).fingerprint_words()
+        );
+        assert_ne!(
+            a.fingerprint_words(),
+            a.level(HierarchyLevel::Warp).fingerprint_words()
+        );
+        assert_ne!(
+            ApproxRegion::memo_in(3, 1.5).fingerprint_words(),
+            ApproxRegion::memo_in(3, 1.5)
+                .tables_per_warp(4)
+                .fingerprint_words()
+        );
+        assert_ne!(
+            ApproxRegion::perfo(PerfoKind::Small { m: 4 }).fingerprint_words(),
+            ApproxRegion::perfo(PerfoKind::Large { m: 4 }).fingerprint_words()
         );
     }
 

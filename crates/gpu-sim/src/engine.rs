@@ -12,6 +12,28 @@ use crate::dim::LaunchConfig;
 use crate::spec::{CostParams, DeviceSpec};
 use crate::stats::KernelStats;
 use crate::timing::{self, TimingBreakdown};
+use std::cell::Cell;
+
+thread_local! {
+    /// Modeled kernel seconds accumulated on this thread since the last
+    /// [`reset_modeled_seconds`]. Each finished kernel adds its duration,
+    /// giving runtimes that evaluate one configuration per thread a running
+    /// total to compare against an abort ceiling. Kernel-only by design —
+    /// transfers and host time are nonnegative, so the total is a lower
+    /// bound of any end-to-end basis.
+    static MODELED_SECONDS: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Zero this thread's modeled-seconds meter (call at the start of a
+/// configuration evaluation).
+pub fn reset_modeled_seconds() {
+    MODELED_SECONDS.with(|m| m.set(0.0));
+}
+
+/// Modeled kernel seconds finished on this thread since the last reset.
+pub fn modeled_seconds() -> f64 {
+    MODELED_SECONDS.with(|m| m.get())
+}
 
 /// Errors rejecting a kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +231,18 @@ impl KernelExec {
         self.stats.merge(&acc.stats);
     }
 
+    /// A provable lower bound on this kernel's final modeled duration,
+    /// given the work merged so far: the accumulated issue cycles spread
+    /// perfectly over every SM. The busiest SM's modeled cycles are at
+    /// least the mean issue load (waves time `max(Σ issue, ...)` per SM),
+    /// further work only adds cycles, and `finish()` adds nonnegative
+    /// launch overhead — so the final [`KernelRecord::seconds`] can never
+    /// be below this value.
+    pub fn lower_bound_seconds(&self) -> f64 {
+        self.spec
+            .cycles_to_seconds(self.stats.total_issue_cycles / self.spec.sm_count as f64)
+    }
+
     /// Finish execution: run the SM scheduling model over the accumulated
     /// per-warp cycles.
     pub fn finish(self) -> KernelRecord {
@@ -218,6 +252,7 @@ impl KernelExec {
             self.shared_bytes_per_block,
             &self.blocks,
         );
+        MODELED_SECONDS.with(|m| m.set(m.get() + timing.seconds));
         // Every kernel — slice walk, block tasks, uniform charge — funnels
         // through here, so this is the one place modeled execution stats
         // feed the obs counters.
@@ -305,6 +340,38 @@ mod tests {
         let rec = k.finish();
         assert!(rec.seconds() > 0.0); // launch overhead
         assert_eq!(rec.stats.warp_steps, 0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_final_seconds() {
+        let mut k = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+        let c = CostProfile::new()
+            .flops(1000.0)
+            .global_read(32, 8, AccessPattern::Coalesced);
+        for b in 0..8 {
+            k.charge(b, 0, &c);
+        }
+        let lb = k.lower_bound_seconds();
+        assert!(lb > 0.0);
+        let rec = k.finish();
+        assert!(lb <= rec.seconds(), "{lb} > {}", rec.seconds());
+    }
+
+    #[test]
+    fn modeled_seconds_meter_tracks_finished_kernels() {
+        // Each #[test] runs on its own thread, so the thread-local meter
+        // sees only this test's kernels.
+        reset_modeled_seconds();
+        assert_eq!(modeled_seconds(), 0.0);
+        let mut total = 0.0;
+        for _ in 0..2 {
+            let mut k = KernelExec::new(&spec(), &small_launch(), 0).unwrap();
+            k.charge(0, 0, &CostProfile::new().flops(50.0));
+            total += k.finish().seconds();
+        }
+        assert_eq!(modeled_seconds(), total);
+        reset_modeled_seconds();
+        assert_eq!(modeled_seconds(), 0.0);
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod warp;
 pub use coalesce::AccessPattern;
 pub use cost::{CostProfile, PrecomposedCost};
 pub use dim::{LaunchConfig, Schedule};
-pub use engine::{BlockAccumulator, KernelExec, KernelRecord, LaunchError};
+pub use engine::{
+    modeled_seconds, reset_modeled_seconds, BlockAccumulator, KernelExec, KernelRecord, LaunchError,
+};
 pub use spec::{CostParams, DeviceSpec, Vendor};
 pub use stats::KernelStats;
 pub use warp::{lane_mask_ballot, popcount, WarpVote};

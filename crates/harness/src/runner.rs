@@ -9,15 +9,90 @@
 use crate::db::Row;
 use crate::space::{self, Scale, SweepConfig};
 use gpu_sim::DeviceSpec;
-use hpac_apps::common::{AppResult, Benchmark, LaunchParams};
+use hpac_apps::common::{install_eval_memo, AppResult, Benchmark, LaunchParams, QoI};
 use hpac_core::exec::{engine, ExecOptions};
+use hpac_core::region::RegionError;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-/// The chosen baseline: launch shape, result, and its timing-basis seconds.
+const QUALITY_CACHE_SHARDS: usize = 8;
+
+/// Output-fingerprint quality cache: error scores keyed by a 128-bit
+/// fingerprint of the approximate run's QoI bit patterns. Many grid points
+/// produce bit-identical outputs (exact-threshold memoization, herded
+/// convergence to the same assignment); their error metric is computed once
+/// per baseline and served from here afterwards. Owned by the [`Baseline`],
+/// so the (fingerprint → error) mapping is per-baseline by construction.
+#[derive(Debug)]
+pub struct QualityCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), f64>>>,
+}
+
+impl Default for QualityCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QualityCache {
+    pub fn new() -> Self {
+        QualityCache {
+            shards: (0..QUALITY_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The cached error for `fp`, or `compute`'s result (which is then
+    /// cached). Returns `(error, was_hit)`. The lock is not held across
+    /// `compute`; a racing duplicate computes the same value twice.
+    pub fn get_or(&self, fp: (u64, u64), compute: impl FnOnce() -> f64) -> (f64, bool) {
+        let shard = (fp.0 as usize) % QUALITY_CACHE_SHARDS;
+        if let Some(&v) = self.shards[shard].lock().unwrap().get(&fp) {
+            return (v, true);
+        }
+        let v = compute();
+        self.shards[shard].lock().unwrap().insert(fp, v);
+        (v, false)
+    }
+}
+
+/// 128-bit fingerprint of a QoI's exact bit patterns: two word-wise fnv1a
+/// accumulators with distinct offset bases over the kind tag, length, and
+/// every value's bits. Equal outputs always collide; unequal outputs
+/// colliding on both accumulators is vanishingly unlikely.
+fn qoi_fingerprint(q: &QoI) -> (u64, u64) {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+    let mut h2 = 0x9e37_79b9_7f4a_7c15u64;
+    let mut feed = |w: u64| {
+        h1 = (h1 ^ w).wrapping_mul(PRIME);
+        h2 = (h2 ^ w).wrapping_mul(PRIME);
+    };
+    match q {
+        QoI::Values(v) => {
+            feed(1);
+            feed(v.len() as u64);
+            v.iter().for_each(|x| feed(x.to_bits()));
+        }
+        QoI::Labels(l) => {
+            feed(2);
+            feed(l.len() as u64);
+            l.iter().for_each(|&x| feed(x as u64));
+        }
+    }
+    (h1, h2)
+}
+
+/// The chosen baseline: launch shape, result, its timing-basis seconds, and
+/// the quality cache scoring approximate outputs against it.
 #[derive(Debug, Clone)]
 pub struct Baseline {
     pub lp: LaunchParams,
     pub result: AppResult,
     pub seconds: f64,
+    pub quality: Arc<QualityCache>,
 }
 
 /// Pick the best non-approximated launch over the benchmark's baseline
@@ -40,7 +115,7 @@ pub fn select_baseline_opts(
         bench.name(),
         candidates.len() as u64,
     );
-    candidates
+    let (lp, result, seconds) = candidates
         .into_iter()
         .map(|ipt| {
             let lp = LaunchParams::new(ipt, block);
@@ -48,14 +123,21 @@ pub fn select_baseline_opts(
                 .run_opts(spec, None, &lp, opts)
                 .expect("accurate baseline must run");
             let seconds = result.timing_basis_seconds(kernel_only);
-            Baseline {
-                lp,
-                result,
-                seconds,
-            }
+            (lp, result, seconds)
         })
-        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
-        .expect("at least one baseline candidate")
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("at least one baseline candidate");
+    let quality = Arc::new(QualityCache::new());
+    // Pre-seed the baseline's own output at zero error: any approximate
+    // configuration that reproduces the accurate output bit-for-bit scores
+    // 0.0 without an error-metric pass.
+    quality.get_or(qoi_fingerprint(&result.qoi), || 0.0);
+    Baseline {
+        lp,
+        result,
+        seconds,
+        quality,
+    }
 }
 
 /// A sweep's outcome: result rows plus configurations that were rejected at
@@ -65,6 +147,21 @@ pub struct SweepOutcome {
     pub rows: Vec<Row>,
     pub rejected: Vec<(String, String)>,
     pub baseline: Baseline,
+}
+
+/// Outcome of one bounded configuration evaluation
+/// ([`run_config_bounded`]). `Aborted` is distinct from `Rejected`: a
+/// rejected configuration cannot launch at all (a modeling constraint), an
+/// aborted one was cut off mid-walk because its modeled cost lower bound
+/// already exceeded [`ExecOptions::abort_above_seconds`] — it is provably
+/// dominated, not infeasible.
+#[derive(Debug, Clone)]
+pub enum ConfigOutcome {
+    Done(Row),
+    /// (label, reason) — the configuration could not launch.
+    Rejected(String, String),
+    /// The configuration hit the cost ceiling; label of the abandoned run.
+    Aborted(String),
 }
 
 /// Execute one configuration against a prepared baseline.
@@ -78,6 +175,11 @@ pub fn run_config(
 }
 
 /// [`run_config`] under explicit execution options (executor knob).
+///
+/// A cost-ceiling abort surfaces as a rejection here; sweep entry points
+/// never set a ceiling, so they never see one. Ceiling-aware callers (the
+/// tuner) use [`run_config_bounded`] and match on
+/// [`ConfigOutcome::Aborted`].
 pub fn run_config_opts(
     bench: &dyn Benchmark,
     spec: &DeviceSpec,
@@ -85,6 +187,23 @@ pub fn run_config_opts(
     cfg: &SweepConfig,
     opts: &ExecOptions,
 ) -> Result<Row, (String, String)> {
+    match run_config_bounded(bench, spec, baseline, cfg, opts) {
+        ConfigOutcome::Done(row) => Ok(row),
+        ConfigOutcome::Rejected(label, reason) => Err((label, reason)),
+        ConfigOutcome::Aborted(label) => {
+            Err((label, "aborted: modeled cost exceeds ceiling".to_string()))
+        }
+    }
+}
+
+/// [`run_config_opts`] with aborts reported as their own outcome.
+pub fn run_config_bounded(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    baseline: &Baseline,
+    cfg: &SweepConfig,
+    opts: &ExecOptions,
+) -> ConfigOutcome {
     let kernel_only = bench.kernel_only_timing();
     let eval_from = hpac_obs::enabled().then(hpac_obs::now_ns);
     let _span = hpac_obs::span_named(
@@ -92,7 +211,12 @@ pub fn run_config_opts(
         bench.name(),
         cfg.lp.items_per_thread as u64,
     );
+    // The abort ceiling compares against modeled seconds accumulated since
+    // this config's evaluation began (each config runs synchronously on one
+    // worker thread, so the thread-local meter is per-config).
+    gpu_sim::reset_modeled_seconds();
     let outcome = bench.run_opts(spec, Some(&cfg.region), &cfg.lp, opts);
+    let aborted = matches!(outcome, Err(RegionError::CostCeiling(_)));
     if let Some(t0) = eval_from {
         hpac_obs::add(
             hpac_obs::CounterId::ConfigEvalNs,
@@ -100,15 +224,22 @@ pub fn run_config_opts(
         );
         hpac_obs::inc(if outcome.is_ok() {
             hpac_obs::CounterId::ConfigsEvaluated
+        } else if aborted {
+            hpac_obs::CounterId::EarlyAborts
         } else {
             hpac_obs::CounterId::ConfigsRejected
         });
     }
     match outcome {
         Ok(res) => {
-            let err = res.qoi.error_vs(&baseline.result.qoi);
+            let (err, quality_hit) = baseline.quality.get_or(qoi_fingerprint(&res.qoi), || {
+                res.qoi.error_vs(&baseline.result.qoi)
+            });
+            if quality_hit {
+                hpac_obs::inc(hpac_obs::CounterId::QualityCacheHits);
+            }
             let seconds = res.timing_basis_seconds(kernel_only);
-            Ok(Row {
+            ConfigOutcome::Done(Row {
                 benchmark: bench.name().to_string(),
                 device: spec.name.to_string(),
                 technique: cfg.region.technique_name().to_string(),
@@ -123,8 +254,85 @@ pub fn run_config_opts(
                 iterations: res.iterations,
             })
         }
-        Err(e) => Err((cfg.label.clone(), e.to_string())),
+        Err(RegionError::CostCeiling(_)) => ConfigOutcome::Aborted(cfg.label.clone()),
+        Err(e) => ConfigOutcome::Rejected(cfg.label.clone(), e.to_string()),
     }
+}
+
+/// The canonical-execution key of a configuration: region fingerprint plus
+/// the benchmark's launch class for the configuration's launch shape. Two
+/// configurations with equal keys perform bit-identical executions, so one
+/// evaluation serves both. `None` when the benchmark opts out of launch
+/// classification.
+pub fn canonical_key(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    cfg: &SweepConfig,
+) -> Option<Vec<u64>> {
+    bench.launch_class(spec, &cfg.lp).map(|class| {
+        let mut key = cfg.region.fingerprint_words();
+        key.push(class);
+        key
+    })
+}
+
+/// For each plan entry, the index of its canonical representative: the
+/// first earlier entry with the same effective execution (identical region
+/// fingerprint *and* identical launch class per
+/// [`Benchmark::launch_class`]). Entries whose benchmark opts out of launch
+/// classification (`None`) are always their own representative.
+fn canonical_reps(bench: &dyn Benchmark, spec: &DeviceSpec, plan: &[SweepConfig]) -> Vec<usize> {
+    let mut reps: Vec<usize> = (0..plan.len()).collect();
+    let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
+    for (i, cfg) in plan.iter().enumerate() {
+        if let Some(key) = canonical_key(bench, spec, cfg) {
+            match seen.entry(key) {
+                Entry::Occupied(e) => reps[i] = *e.get(),
+                Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    reps
+}
+
+/// Evaluate a plan with canonical-duplicate elision: only representatives
+/// run (via `eval`); duplicates clone their representative's result under
+/// their own label and items-per-thread. `run_fresh` maps representative
+/// plan indices to results — sequentially or via the engine, the caller's
+/// choice.
+fn run_deduped(
+    bench: &dyn Benchmark,
+    spec: &DeviceSpec,
+    plan: &[SweepConfig],
+    run_fresh: impl FnOnce(&[usize]) -> Vec<Result<Row, (String, String)>>,
+) -> Vec<Result<Row, (String, String)>> {
+    let reps = canonical_reps(bench, spec, plan);
+    let fresh: Vec<usize> = (0..plan.len()).filter(|&i| reps[i] == i).collect();
+    let fresh_results = run_fresh(&fresh);
+    let mut by_index: Vec<Option<Result<Row, (String, String)>>> = vec![None; plan.len()];
+    for (slot, &i) in fresh.iter().enumerate() {
+        by_index[i] = Some(fresh_results[slot].clone());
+    }
+    for i in 0..plan.len() {
+        if reps[i] != i {
+            hpac_obs::inc(hpac_obs::CounterId::ConfigsDeduped);
+            let rep = by_index[reps[i]].clone().expect("representative evaluated");
+            by_index[i] = Some(match rep {
+                Ok(mut row) => {
+                    row.config = plan[i].label.clone();
+                    row.items_per_thread = plan[i].lp.items_per_thread;
+                    Ok(row)
+                }
+                Err((_, reason)) => Err((plan[i].label.clone(), reason)),
+            });
+        }
+    }
+    by_index
+        .into_iter()
+        .map(|r| r.expect("all filled"))
+        .collect()
 }
 
 /// Run a benchmark's full sweep plan on one device, in parallel across
@@ -139,13 +347,15 @@ pub fn run_config_opts(
 /// block executor is the only parallelism in play.
 pub fn run_sweep(bench: &dyn Benchmark, spec: &DeviceSpec, scale: Scale) -> SweepOutcome {
     let opts = ExecOptions::default();
+    let _scope = install_eval_memo();
     let baseline = select_baseline_opts(bench, spec, &opts);
     let plan = space::plan(bench, spec, scale);
     let _sweep = hpac_obs::span_named(hpac_obs::SpanId::SweepApp, bench.name(), plan.len() as u64);
-    let results: Vec<Result<Row, (String, String)>> =
-        engine().run(plan.len(), engine().default_width(), |i| {
-            run_config_opts(bench, spec, &baseline, &plan[i], &opts)
-        });
+    let results = run_deduped(bench, spec, &plan, |fresh| {
+        engine().run(fresh.len(), engine().default_width(), |slot| {
+            run_config_opts(bench, spec, &baseline, &plan[fresh[slot]], &opts)
+        })
+    });
 
     let mut rows = Vec::with_capacity(results.len());
     let mut rejected = Vec::new();
@@ -174,13 +384,20 @@ pub fn run_sweep_serial(
     scale: Scale,
     opts: &ExecOptions,
 ) -> SweepOutcome {
+    let _scope = install_eval_memo();
     let baseline = select_baseline_opts(bench, spec, opts);
     let plan = space::plan(bench, spec, scale);
     let _sweep = hpac_obs::span_named(hpac_obs::SpanId::SweepApp, bench.name(), plan.len() as u64);
+    let results = run_deduped(bench, spec, &plan, |fresh| {
+        fresh
+            .iter()
+            .map(|&i| run_config_opts(bench, spec, &baseline, &plan[i], opts))
+            .collect()
+    });
     let mut rows = Vec::with_capacity(plan.len());
     let mut rejected = Vec::new();
-    for cfg in &plan {
-        match run_config_opts(bench, spec, &baseline, cfg, opts) {
+    for r in results {
+        match r {
             Ok(row) => rows.push(row),
             Err(rej) => rejected.push(rej),
         }
@@ -202,16 +419,18 @@ pub fn run_configs(
     // Config-parallel like `run_sweep`: one engine task per configuration,
     // nested kernel fan-outs inlined by the engine's depth guard.
     let opts = ExecOptions::default();
+    let _scope = install_eval_memo();
     let baseline = select_baseline_opts(bench, spec, &opts);
     let _sweep = hpac_obs::span_named(
         hpac_obs::SpanId::SweepApp,
         bench.name(),
         configs.len() as u64,
     );
-    let results: Vec<Result<Row, (String, String)>> =
-        engine().run(configs.len(), engine().default_width(), |i| {
-            run_config_opts(bench, spec, &baseline, &configs[i], &opts)
-        });
+    let results = run_deduped(bench, spec, configs, |fresh| {
+        engine().run(fresh.len(), engine().default_width(), |slot| {
+            run_config_opts(bench, spec, &baseline, &configs[fresh[slot]], &opts)
+        })
+    });
     let mut rows = Vec::new();
     let mut rejected = Vec::new();
     for r in results {

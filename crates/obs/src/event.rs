@@ -198,9 +198,19 @@ pub enum CounterId {
     ServiceCoalesced,
     /// Service searches warm-started from a neighboring bound's frontier.
     ServiceWarmStarts,
+    /// Sweep-scoped `EvalMemo` lookups served from the shared store.
+    EvalMemoHits,
+    /// `EvalMemo` lookups that built a fresh entry.
+    EvalMemoMisses,
+    /// Quality-score computations skipped via the output-fingerprint cache.
+    QualityCacheHits,
+    /// Configs that canonicalized onto an already-submitted evaluation.
+    ConfigsDeduped,
+    /// Config evaluations aborted once they provably missed the frontier.
+    EarlyAborts,
 }
 
-pub const N_COUNTERS: usize = 35;
+pub const N_COUNTERS: usize = 40;
 
 impl CounterId {
     pub const ALL: [CounterId; N_COUNTERS] = [
@@ -239,6 +249,11 @@ impl CounterId {
         CounterId::ServiceRequests,
         CounterId::ServiceCoalesced,
         CounterId::ServiceWarmStarts,
+        CounterId::EvalMemoHits,
+        CounterId::EvalMemoMisses,
+        CounterId::QualityCacheHits,
+        CounterId::ConfigsDeduped,
+        CounterId::EarlyAborts,
     ];
 
     pub fn name(self) -> &'static str {
@@ -278,6 +293,11 @@ impl CounterId {
             CounterId::ServiceRequests => "service_requests",
             CounterId::ServiceCoalesced => "service_coalesced",
             CounterId::ServiceWarmStarts => "service_warm_starts",
+            CounterId::EvalMemoHits => "eval_memo_hits",
+            CounterId::EvalMemoMisses => "eval_memo_misses",
+            CounterId::QualityCacheHits => "quality_cache_hits",
+            CounterId::ConfigsDeduped => "configs_deduped",
+            CounterId::EarlyAborts => "early_aborts",
         }
     }
 }

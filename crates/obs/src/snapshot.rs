@@ -139,6 +139,25 @@ impl MetricsSnapshot {
         )
     }
 
+    /// Sweep-scoped `EvalMemo` hit rate, or `None` if no lookups happened.
+    pub fn eval_memo_hit_rate(&self) -> Option<f64> {
+        rate(
+            self.counter(CounterId::EvalMemoHits),
+            self.counter(CounterId::EvalMemoMisses),
+        )
+    }
+
+    /// Output-fingerprint quality-cache hit rate: fraction of config
+    /// evaluations whose error metric was served from the cache. `None`
+    /// before any config was scored.
+    pub fn quality_cache_hit_rate(&self) -> Option<f64> {
+        rate(
+            self.counter(CounterId::QualityCacheHits),
+            self.counter(CounterId::ConfigsEvaluated)
+                .saturating_sub(self.counter(CounterId::QualityCacheHits)),
+        )
+    }
+
     /// Total attributable busy nanoseconds across workers.
     pub fn busy_ns_total(&self) -> u64 {
         self.workers.iter().map(|w| w.busy_ns()).sum()
@@ -169,6 +188,8 @@ impl MetricsSnapshot {
             ("mix_memo_hit_rate", self.mix_memo_hit_rate()),
             ("compute_memo_hit_rate", self.compute_memo_hit_rate()),
             ("tuner_cache_hit_rate", self.tuner_cache_hit_rate()),
+            ("eval_memo_hit_rate", self.eval_memo_hit_rate()),
+            ("quality_cache_hit_rate", self.quality_cache_hit_rate()),
         ] {
             if let Some(r) = r {
                 let _ = writeln!(out, "{:<24} {:>15.1}%", label, r * 100.0);

@@ -114,6 +114,19 @@ impl ParetoFrontier {
             .find(|p| p.error_pct <= max_error_pct)
     }
 
+    /// Speedup of the frontier's exact point (error of exactly zero), if
+    /// one exists. Since error cannot go below zero, this point dominates
+    /// *any* strictly slower candidate whatever that candidate's error
+    /// turns out to be — the domination proof behind frontier-aware early
+    /// abort. Sorted by error ascending, so only the first point can
+    /// qualify.
+    pub fn zero_error_speedup(&self) -> Option<f64> {
+        self.points
+            .first()
+            .filter(|p| p.error_pct == 0.0)
+            .map(|p| p.speedup)
+    }
+
     /// Points in ascending error order.
     pub fn points(&self) -> &[ParetoPoint] {
         &self.points
@@ -192,6 +205,19 @@ mod tests {
         assert_eq!(f.best_under(20.0).unwrap().speedup, 3.0);
         assert_eq!(f.best_under(1.0).unwrap().speedup, 1.2);
         assert!(f.best_under(0.1).is_none());
+    }
+
+    #[test]
+    fn zero_error_speedup_requires_exact_point() {
+        let mut f = ParetoFrontier::new();
+        assert_eq!(f.zero_error_speedup(), None);
+        f.insert(pt(1.8, 3.0));
+        assert_eq!(f.zero_error_speedup(), None);
+        f.insert(pt(1.4, 0.0));
+        assert_eq!(f.zero_error_speedup(), Some(1.4));
+        // A faster exact point replaces the slower one.
+        f.insert(pt(1.6, 0.0));
+        assert_eq!(f.zero_error_speedup(), Some(1.6));
     }
 
     #[test]

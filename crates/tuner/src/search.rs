@@ -23,9 +23,9 @@ use crate::grid::Grid;
 use crate::pareto::{ParetoFrontier, ParetoPoint};
 use gpu_sim::DeviceSpec;
 use hpac_apps::common::{Benchmark, LaunchParams};
-use hpac_core::exec::engine;
+use hpac_core::exec::{engine, ExecOptions};
 use hpac_core::region::ApproxRegion;
-use hpac_harness::runner::{self, Baseline};
+use hpac_harness::runner::{self, Baseline, ConfigOutcome};
 use hpac_harness::space::SweepConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,8 +75,17 @@ pub struct Evaluator<'a> {
     /// Fresh (non-memoized) configuration executions so far.
     pub evaluations: usize,
     pub frontier: ParetoFrontier,
-    /// label → outcome; `None` records a configuration rejected at launch.
+    /// Configurations abandoned by the frontier-aware cost ceiling: their
+    /// modeled-cost lower bound already proved them slower than the
+    /// frontier's zero-error point, which dominates them at any error.
+    pub aborted: Vec<SweepConfig>,
+    /// label → outcome; `None` records a configuration rejected at launch
+    /// or abandoned by the cost ceiling.
     seen: HashMap<String, Option<Evaluated>>,
+    /// canonical execution key → label of the evaluated representative
+    /// ([`runner::canonical_key`]); equal-key configurations reuse its
+    /// outcome instead of re-executing.
+    canon_seen: HashMap<Vec<u64>, String>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -93,7 +102,9 @@ impl<'a> Evaluator<'a> {
             budget,
             evaluations: 0,
             frontier: ParetoFrontier::new(),
+            aborted: Vec::new(),
             seen: HashMap::new(),
+            canon_seen: HashMap::new(),
         }
     }
 
@@ -114,27 +125,43 @@ impl<'a> Evaluator<'a> {
     /// is skipped and reported as `None`.
     pub fn eval_batch(&mut self, configs: &[SweepConfig]) -> Vec<Option<Evaluated>> {
         let mut fresh: Vec<&SweepConfig> = Vec::new();
+        // (duplicate config, label of its canonical representative).
+        let mut dups: Vec<(&SweepConfig, String)> = Vec::new();
         for cfg in configs {
-            if !self.seen.contains_key(&cfg.label)
-                && !fresh.iter().any(|f| f.label == cfg.label)
-                && fresh.len() < self.remaining()
+            if self.seen.contains_key(&cfg.label)
+                || fresh.iter().any(|f| f.label == cfg.label)
+                || dups.iter().any(|(d, _)| d.label == cfg.label)
             {
-                fresh.push(cfg);
+                continue;
             }
+            let key = runner::canonical_key(self.bench, self.spec, cfg);
+            if let Some(rep) = key.as_ref().and_then(|k| self.canon_seen.get(k)) {
+                dups.push((cfg, rep.clone()));
+                continue;
+            }
+            if fresh.len() >= self.remaining() {
+                continue;
+            }
+            if let Some(key) = key {
+                self.canon_seen.insert(key, cfg.label.clone());
+            }
+            fresh.push(cfg);
         }
+        // Frontier-aware early abort: a zero-error frontier point at
+        // speedup S₀ dominates anything slower than baseline/S₀ seconds,
+        // so the walk may abandon a config once its modeled-cost lower
+        // bound crosses that ceiling.
+        let opts = ExecOptions {
+            abort_above_seconds: self
+                .frontier
+                .zero_error_speedup()
+                .map(|s0| self.baseline.seconds / s0),
+            ..ExecOptions::default()
+        };
         let (bench, spec, baseline) = (self.bench, self.spec, self.baseline);
-        let outcomes: Vec<Option<Evaluated>> =
+        let outcomes: Vec<ConfigOutcome> =
             engine().run(fresh.len(), engine().default_width(), |i| {
-                let cfg = fresh[i];
-                runner::run_config(bench, spec, baseline, cfg)
-                    .ok()
-                    .map(|row| Evaluated {
-                        region: cfg.region,
-                        lp: cfg.lp,
-                        technique: cfg.region.technique_name(),
-                        speedup: row.speedup,
-                        error_pct: row.error_pct,
-                    })
+                runner::run_config_bounded(bench, spec, baseline, fresh[i], &opts)
             });
         self.evaluations += fresh.len();
         if hpac_obs::enabled() {
@@ -145,6 +172,20 @@ impl<'a> Evaluator<'a> {
             );
         }
         for (cfg, outcome) in fresh.iter().zip(outcomes) {
+            let outcome = match outcome {
+                ConfigOutcome::Done(row) => Some(Evaluated {
+                    region: cfg.region,
+                    lp: cfg.lp,
+                    technique: cfg.region.technique_name(),
+                    speedup: row.speedup,
+                    error_pct: row.error_pct,
+                }),
+                ConfigOutcome::Aborted(_) => {
+                    self.aborted.push((*cfg).clone());
+                    None
+                }
+                ConfigOutcome::Rejected(..) => None,
+            };
             if let Some(ev) = &outcome {
                 self.frontier.insert(ParetoPoint {
                     speedup: ev.speedup,
@@ -157,6 +198,24 @@ impl<'a> Evaluator<'a> {
                 });
             }
             self.seen.insert(cfg.label.clone(), outcome);
+        }
+        for (cfg, rep_label) in dups {
+            hpac_obs::inc(hpac_obs::CounterId::ConfigsDeduped);
+            let synth = self
+                .seen
+                .get(&rep_label)
+                .cloned()
+                .flatten()
+                .map(|rep| Evaluated {
+                    region: cfg.region,
+                    lp: cfg.lp,
+                    technique: cfg.region.technique_name(),
+                    speedup: rep.speedup,
+                    error_pct: rep.error_pct,
+                });
+            // The representative already holds the frontier point for these
+            // coordinates; inserting the duplicate would be a no-op.
+            self.seen.insert(cfg.label.clone(), synth);
         }
         // One trajectory sample per batch: how far the search has come and
         // how selective the frontier is at this point.

@@ -99,6 +99,10 @@ impl Tuner {
         bound: QualityBound,
         seeds: &[SweepConfig],
     ) -> TunedPlan {
+        // One sweep-scoped evaluation memo for the whole search: baseline
+        // candidates and every evaluated configuration share accurate-lane
+        // computations that don't depend on approximation parameters.
+        let _memo_scope = hpac_apps::common::install_eval_memo();
         let baseline = select_baseline(bench, device);
         let full_space = space::full_space_size(bench, device);
         let budget = ((full_space as f64 * self.budget_fraction) as usize).max(1);

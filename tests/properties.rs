@@ -226,3 +226,103 @@ proptest! {
         prop_assert!(t2.cycles >= t1.cycles);
     }
 }
+
+// Whole-stack reuse properties: each case runs real application evaluations
+// end to end, so the bodies are kept deliberately small.
+proptest! {
+    /// Sweep-scoped evaluation reuse is invisible in the results: a config
+    /// evaluated under an installed [`EvalMemo`] scope — including a second
+    /// evaluation served from a warm memo — produces bit-identical speedup,
+    /// error, and kernel seconds to a memo-free evaluation, across
+    /// techniques, executors, and worker counts.
+    #[test]
+    fn sweep_scoped_memo_is_bit_identical(
+        tech in 0usize..3,
+        ipt_idx in 0usize..3,
+        exec_idx in 0usize..3,
+        threads_idx in 0usize..2,
+    ) {
+        use hpac_offload::apps::blackscholes::Blackscholes;
+        use hpac_offload::apps::common::{install_eval_memo, LaunchParams};
+        use hpac_offload::core::exec::{ExecOptions, Executor};
+        use hpac_offload::core::region::ApproxRegion;
+        use hpac_offload::harness::runner::{run_config_opts, select_baseline_opts};
+        use hpac_offload::harness::SweepConfig;
+
+        let bench = Blackscholes { n_options: 2048, distinct: 16, run_len: 16, seed: 7 };
+        let spec = DeviceSpec::v100();
+        let region = match tech {
+            0 => ApproxRegion::memo_out(2, 32, 0.9),
+            1 => ApproxRegion::memo_in(4, 0.5),
+            _ => ApproxRegion::perfo(PerfoKind::Small { m: 2 }),
+        };
+        let executor = [Executor::Sequential, Executor::ParallelBlocks, Executor::Auto][exec_idx];
+        let threads = [None, Some(2usize)][threads_idx];
+        let opts = ExecOptions { executor, threads, ..ExecOptions::default() };
+        let cfg = SweepConfig {
+            region,
+            lp: LaunchParams::new([4usize, 16, 64][ipt_idx], 256),
+            label: "probe".into(),
+        };
+        let plain = {
+            let baseline = select_baseline_opts(&bench, &spec, &opts);
+            run_config_opts(&bench, &spec, &baseline, &cfg, &opts).unwrap()
+        };
+        let scoped = {
+            let _scope = install_eval_memo();
+            let baseline = select_baseline_opts(&bench, &spec, &opts);
+            // First evaluation populates the sweep-scoped memo; the second
+            // is served from it. Both must match the memo-free run.
+            let warm = run_config_opts(&bench, &spec, &baseline, &cfg, &opts).unwrap();
+            let hot = run_config_opts(&bench, &spec, &baseline, &cfg, &opts).unwrap();
+            prop_assert_eq!(warm.speedup.to_bits(), hot.speedup.to_bits());
+            prop_assert_eq!(warm.error_pct.to_bits(), hot.error_pct.to_bits());
+            hot
+        };
+        prop_assert_eq!(plain.speedup.to_bits(), scoped.speedup.to_bits());
+        prop_assert_eq!(plain.error_pct.to_bits(), scoped.error_pct.to_bits());
+        prop_assert_eq!(plain.kernel_seconds.to_bits(), scoped.kernel_seconds.to_bits());
+    }
+
+    /// Frontier-aware early abort never costs a frontier point: every
+    /// configuration the tuner abandoned at the cost ceiling, re-run to
+    /// completion without a ceiling, is dominated by (or equal to) the
+    /// final frontier — inserting it changes nothing.
+    #[test]
+    fn aborted_configs_never_enter_frontier(seed in 0u64..1_000) {
+        use hpac_offload::apps::blackscholes::Blackscholes;
+        use hpac_offload::harness::runner::{run_config, select_baseline};
+        use hpac_offload::harness::Scale;
+        use hpac_offload::tuner::search::{search_grid, Evaluator, SearchStrategy};
+        use hpac_offload::tuner::{Grid, ParetoPoint};
+
+        let bench = Blackscholes { n_options: 2048, distinct: 16, run_len: 16, seed: 1 };
+        let spec = DeviceSpec::v100();
+        let baseline = select_baseline(&bench, &spec);
+        let mut ev = Evaluator::new(&bench, &spec, &baseline, 60);
+        let strategy = SearchStrategy::Random { samples: 20 };
+        for (i, grid) in Grid::grids_for(&bench, &spec, Scale::Quick).iter().enumerate() {
+            search_grid(grid, &mut ev, &strategy, 5.0, seed.wrapping_add(i as u64));
+        }
+        let mut frontier = ev.frontier.clone();
+        for cfg in &ev.aborted {
+            let row = run_config(&bench, &spec, &baseline, cfg)
+                .expect("aborted configs are launchable");
+            let changed = frontier.insert(ParetoPoint {
+                speedup: row.speedup,
+                error_pct: row.error_pct,
+                technique: row.technique.clone(),
+                config: format!("reran {}", cfg.label),
+                items_per_thread: row.items_per_thread,
+                region: None,
+                lp: None,
+            });
+            prop_assert!(
+                !changed,
+                "aborted config {} would have entered the frontier \
+                 (speedup {}, error {}%)",
+                cfg.label, row.speedup, row.error_pct
+            );
+        }
+    }
+}
